@@ -1,0 +1,298 @@
+// Benchmarks regenerating every experiment table (DESIGN.md §4):
+//
+//	go test -bench=. -benchmem
+//
+// The per-transaction benchmarks (BenchmarkE1*) are conventional Go
+// benchmarks; the table benchmarks (BenchmarkE2..E8, F1, F2) run one full
+// experiment per iteration at reduced scale and report the headline
+// metric via b.ReportMetric. cmd/unbundled-bench prints the full tables.
+package unbundled_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/cidr09/unbundled/internal/core"
+	"github.com/cidr09/unbundled/internal/dc"
+	"github.com/cidr09/unbundled/internal/experiments"
+	"github.com/cidr09/unbundled/internal/monolith"
+	"github.com/cidr09/unbundled/internal/tc"
+	"github.com/cidr09/unbundled/internal/wire"
+	"github.com/cidr09/unbundled/internal/workload"
+)
+
+// --- E1: per-transaction comparison, monolithic vs unbundled -----------
+
+func kvTxnBench(b *testing.B, run func(i int) error) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1TxnMonolith(b *testing.B) {
+	e, err := monolith.New(monolith.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.CreateTable("kv"); err != nil {
+		b.Fatal(err)
+	}
+	g := workload.KV{Keys: 4096, ReadFrac: 0.5, OpsPerTxn: 4, Seed: 1}.NewGen(0)
+	kvTxnBench(b, func(i int) error {
+		return e.RunTxn(func(x *monolith.Txn) error {
+			for j := 0; j < g.OpsPerTxn(); j++ {
+				if g.IsRead() {
+					_, _, err := x.Read("kv", g.Key())
+					return err
+				}
+				if err := x.Upsert("kv", g.Key(), g.Value()); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func unbundledTxnBench(b *testing.B, net *wire.Config) {
+	dep, err := core.New(core.Options{TCs: 1, DCs: 1, Tables: []string{"kv"}, Network: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dep.Close()
+	g := workload.KV{Keys: 4096, ReadFrac: 0.5, OpsPerTxn: 4, Seed: 1}.NewGen(0)
+	tcx := dep.TCs[0]
+	kvTxnBench(b, func(i int) error {
+		return tcx.RunTxn(false, func(x *tc.Txn) error {
+			for j := 0; j < g.OpsPerTxn(); j++ {
+				if g.IsRead() {
+					_, _, err := x.Read("kv", g.Key())
+					return err
+				}
+				if err := x.Upsert("kv", g.Key(), g.Value()); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func BenchmarkE1TxnUnbundledDirect(b *testing.B) { unbundledTxnBench(b, nil) }
+func BenchmarkE1TxnUnbundledWire(b *testing.B)   { unbundledTxnBench(b, &wire.Config{}) }
+
+// --- table experiments, one per figure/claim ---------------------------
+
+func tableBench(b *testing.B, run func(experiments.Scale)) {
+	s := experiments.QuickScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(s)
+	}
+}
+
+func BenchmarkE2AbLSNSpace(b *testing.B) {
+	tableBench(b, func(s experiments.Scale) { _ = experiments.E2(s) })
+}
+
+func BenchmarkE3PageSync(b *testing.B) {
+	tableBench(b, func(s experiments.Scale) { _ = experiments.E3(s) })
+}
+
+func BenchmarkE4RangeLocking(b *testing.B) {
+	tableBench(b, func(s experiments.Scale) { _ = experiments.E4(s) })
+}
+
+func BenchmarkE5SMORecovery(b *testing.B) {
+	tableBench(b, func(s experiments.Scale) { _ = experiments.E5(s) })
+}
+
+func BenchmarkE6PartialFailure(b *testing.B) {
+	tableBench(b, func(s experiments.Scale) { _ = experiments.E6(s) })
+}
+
+func BenchmarkE7MultiTC(b *testing.B) {
+	tableBench(b, func(s experiments.Scale) { _ = experiments.E7(s) })
+}
+
+func BenchmarkE8Scaling(b *testing.B) {
+	tableBench(b, func(s experiments.Scale) { _ = experiments.E8(s) })
+}
+
+func BenchmarkFig1Architecture(b *testing.B) {
+	tableBench(b, func(s experiments.Scale) { _ = experiments.F1(s) })
+}
+
+// --- Figure 2 / §6.3: per-workload movie-site benchmarks ---------------
+
+type movieEnv struct {
+	dep    *core.Deployment
+	p      workload.MoviePlacement
+	reader *tc.TC
+}
+
+func newMovieEnv(b *testing.B) *movieEnv {
+	b.Helper()
+	p := workload.MoviePlacement{MovieDCs: 2, UserDCs: 1, Movies: 200, Users: 400}
+	dep, err := core.New(core.Options{TCs: 3, DCs: 3,
+		Tables: workload.MovieTables(), Route: p.Route})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dep.TCs[0].RunTxn(false, func(x *tc.Txn) error {
+		for m := 0; m < p.Movies; m++ {
+			if err := x.Upsert(workload.TableMovies, workload.MovieKey(m), []byte("m")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for u := 0; u < p.Users; u++ {
+		owner := dep.TCs[p.OwnerTC(u, 2)]
+		if err := owner.RunTxn(true, func(x *tc.Txn) error {
+			return x.Upsert(workload.TableUsers, workload.UserKey(u), []byte("p"))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(dep.Close)
+	return &movieEnv{dep: dep, p: p, reader: dep.TCs[2]}
+}
+
+func BenchmarkFig2MovieW1(b *testing.B) {
+	env := newMovieEnv(b)
+	// Seed some reviews to read.
+	for i := 0; i < 500; i++ {
+		u, m := i%env.p.Users, i%env.p.Movies
+		owner := env.dep.TCs[env.p.OwnerTC(u, 2)]
+		if err := owner.RunTxn(true, func(x *tc.Txn) error {
+			return x.Upsert(workload.TableReviews, workload.ReviewKey(m, u), []byte("r"))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prefix := workload.MovieKey(i%env.p.Movies) + "/"
+		if err := env.reader.RunTxn(false, func(x *tc.Txn) error {
+			_, _, err := x.ScanCommitted(workload.TableReviews, prefix, prefix+"~", 0)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2MovieW2(b *testing.B) {
+	env := newMovieEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, m := i%env.p.Users, (i*7)%env.p.Movies
+		owner := env.dep.TCs[env.p.OwnerTC(u, 2)]
+		review := []byte(fmt.Sprintf("review-%d", i))
+		if err := owner.RunTxn(true, func(x *tc.Txn) error {
+			if err := x.Upsert(workload.TableReviews, workload.ReviewKey(m, u), review); err != nil {
+				return err
+			}
+			return x.Upsert(workload.TableMyReviews, workload.MyReviewKey(u, m), review)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2MovieW3(b *testing.B) {
+	env := newMovieEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := i % env.p.Users
+		owner := env.dep.TCs[env.p.OwnerTC(u, 2)]
+		if err := owner.RunTxn(true, func(x *tc.Txn) error {
+			return x.Upsert(workload.TableUsers, workload.UserKey(u),
+				[]byte(fmt.Sprintf("profile-%d", i)))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2MovieW4(b *testing.B) {
+	env := newMovieEnv(b)
+	for i := 0; i < 500; i++ {
+		u, m := i%env.p.Users, i%env.p.Movies
+		owner := env.dep.TCs[env.p.OwnerTC(u, 2)]
+		if err := owner.RunTxn(true, func(x *tc.Txn) error {
+			return x.Upsert(workload.TableMyReviews, workload.MyReviewKey(u, m), []byte("r"))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := i % env.p.Users
+		owner := env.dep.TCs[env.p.OwnerTC(u, 2)]
+		prefix := workload.UserKey(u) + "/"
+		if err := owner.RunTxn(false, func(x *tc.Txn) error {
+			_, _, err := x.Scan(workload.TableMyReviews, prefix, prefix+"~", 0)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- recovery micro-benchmarks ------------------------------------------
+
+func BenchmarkDCCrashRecovery(b *testing.B) {
+	dep, err := core.New(core.Options{TCs: 1, DCs: 1, Tables: []string{"kv"},
+		DCConfig: func(int) dc.Config { return dc.Config{PageBytes: 1024} }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dep.Close()
+	tcx := dep.TCs[0]
+	for i := 0; i < 2000; i++ {
+		if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+			return x.Upsert("kv", workload.KVKey(i), []byte("v"))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep.CrashDC(0)
+		if err := dep.RecoverDC(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCCrashRecovery(b *testing.B) {
+	dep, err := core.New(core.Options{TCs: 1, DCs: 1, Tables: []string{"kv"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dep.Close()
+	tcx := dep.TCs[0]
+	for i := 0; i < 2000; i++ {
+		if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+			return x.Upsert("kv", workload.KVKey(i), []byte("v"))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep.CrashTC(0)
+		if err := dep.RecoverTC(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

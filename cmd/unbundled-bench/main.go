@@ -1,0 +1,52 @@
+// Command unbundled-bench regenerates every table in EXPERIMENTS.md: the
+// reproduction of the paper's figures and claims (see DESIGN.md §4 for the
+// experiment index). Run with -quick for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/cidr09/unbundled/internal/experiments"
+	"github.com/cidr09/unbundled/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced smoke configuration")
+	only := flag.String("only", "", "run a single experiment (E1..E8, F1, F2)")
+	flag.Parse()
+
+	s := experiments.DefaultScale()
+	if *quick {
+		s = experiments.QuickScale()
+	}
+
+	exps := []struct {
+		id, title string
+		run       func(experiments.Scale) *harness.Table
+	}{
+		{"E1", "unbundled vs monolithic kernel (§7 'longer code paths')", experiments.E1},
+		{"E2", "abstract-LSN space vs per-record LSNs (§5.1.2)", experiments.E2},
+		{"E3", "page-sync strategies 1/2/3 (§5.1.2)", experiments.E3},
+		{"E4", "range locking: fetch-ahead vs static ranges (§3.1)", experiments.E4},
+		{"E5", "system-transaction recovery: splits & consolidates (§5.2)", experiments.E5},
+		{"E6", "partial failures: DC crash redo; TC crash targeted reset (§5.3)", experiments.E6},
+		{"E7", "multiple TCs per DC; non-blocking readers, no 2PC (§6)", experiments.E7},
+		{"E8", "DC instance scaling behind one TC (§1.1(3))", experiments.E8},
+		{"F1", "Figure 1: heterogeneous TC/DC deployment", experiments.F1},
+		{"F2", "Figure 2 + §6.3: movie site workloads W1–W4", experiments.F2},
+	}
+
+	for _, e := range exps {
+		if *only != "" && *only != e.id {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.id, e.title)
+		start := time.Now()
+		tab := e.run(s)
+		tab.Fprint(os.Stdout)
+		fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

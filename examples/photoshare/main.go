@@ -1,0 +1,152 @@
+// Photo share: the §2 Web-2.0 application perspective.
+//
+// A photo-sharing platform needs OLTP over users, photos, tags, and
+// reviews, plus application-specific index structures (a phrase index for
+// review text, a geo index for shapes). With an unbundled kernel the
+// application composes stock record DCs with "home-grown" index DCs and
+// rents transactions from a TC — here the tag and phrase indexes live on
+// their own DC and are maintained transactionally with the base tables,
+// giving the referential integrity the paper calls for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/cidr09/unbundled"
+)
+
+const (
+	tUsers   = "users"
+	tPhotos  = "photos"
+	tReviews = "reviews"
+	tTagIdx  = "tagidx"    // tag -> photo postings
+	tPhrase  = "phraseidx" // phrase -> review postings
+)
+
+func main() {
+	// DC0: users+photos (record store); DC1: reviews; DC2: the home-grown
+	// index DC holding both inverted indexes.
+	route := func(table, _ string) int {
+		switch table {
+		case tUsers, tPhotos:
+			return 0
+		case tReviews:
+			return 1
+		default:
+			return 2
+		}
+	}
+	dep, err := unbundled.Open(unbundled.Options{
+		TCs: 1, DCs: 3,
+		Tables: []string{tUsers, tPhotos, tReviews, tTagIdx, tPhrase},
+		Route:  route,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	tc := dep.TCs[0]
+
+	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+		return x.Insert(tUsers, "ada", []byte("account: ada, quota 1GB"))
+	}))
+
+	// Upload a photo with tags: base row + index postings, one txn.
+	uploadPhoto := func(photo, owner string, tags []string) error {
+		return tc.RunTxn(false, func(x *unbundled.Txn) error {
+			if _, ok, err := x.Read(tUsers, owner); err != nil || !ok {
+				return fmt.Errorf("no such user %q (referential integrity): %v", owner, err)
+			}
+			if err := x.Insert(tPhotos, photo, []byte("owner="+owner)); err != nil {
+				return err
+			}
+			for _, tag := range tags {
+				if err := x.Insert(tTagIdx, tag+"#"+photo, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	must(uploadPhoto("photo-001", "ada", []string{"bridge", "goldengate", "fog"}))
+	must(uploadPhoto("photo-002", "ada", []string{"bridge", "night"}))
+	fmt.Println("uploaded 2 photos with tag postings (transactionally)")
+
+	// Uploading for a missing user fails atomically: no photo row, no
+	// postings — the application-level constraint held by the txn.
+	if err := uploadPhoto("photo-bad", "nobody", []string{"bridge"}); err == nil {
+		log.Fatal("upload for missing user should have failed")
+	}
+	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+		if _, ok, _ := x.Read(tPhotos, "photo-bad"); ok {
+			return fmt.Errorf("orphan photo row leaked")
+		}
+		if _, ok, _ := x.Read(tTagIdx, "bridge#photo-bad"); ok {
+			return fmt.Errorf("orphan posting leaked")
+		}
+		return nil
+	}))
+	fmt.Println("rejected upload for unknown user; no orphans anywhere")
+
+	// Review with phrase indexing.
+	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+		review := "stunning view from the north side"
+		if err := x.Insert(tReviews, "photo-001/ada", []byte(review)); err != nil {
+			return err
+		}
+		for _, phrase := range []string{"stunning view", "north side"} {
+			key := strings.ReplaceAll(phrase, " ", "_") + "#photo-001/ada"
+			if err := x.Insert(tPhrase, key, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+
+	// Tag query: which photos are tagged "bridge"?
+	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+		keys, _, err := x.Scan(tTagIdx, "bridge#", "bridge#~", 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tag 'bridge' -> %d photos:\n", len(keys))
+		for _, k := range keys {
+			fmt.Printf("    %s\n", strings.TrimPrefix(k, "bridge#"))
+		}
+		return nil
+	}))
+
+	// Phrase query against the home-grown phrase index.
+	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+		keys, _, err := x.Scan(tPhrase, "stunning_view#", "stunning_view#~", 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("phrase 'stunning view' -> %d reviews\n", len(keys))
+		return nil
+	}))
+
+	// The index DC fails; after recovery everything is intact because the
+	// TC resends whatever the DC lost.
+	dep.CrashDC(2)
+	must(dep.RecoverDC(2))
+	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+		keys, _, err := x.Scan(tTagIdx, "bridge#", "bridge#~", 0)
+		if err != nil {
+			return err
+		}
+		if len(keys) != 2 {
+			return fmt.Errorf("postings lost in index DC crash: %v", keys)
+		}
+		return nil
+	}))
+	fmt.Println("index DC crashed and recovered; postings intact")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,324 @@
+package base
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is one logical, record-oriented operation sent from a TC to a DC
+// (§4.2.1 perform_operation). It carries the operation name and arguments
+// (table, key or key range) plus the unique request identifier LSN.
+// Resends reuse the identifier so the DC can provide idempotence.
+type Op struct {
+	TC     TCID
+	LSN    LSN
+	Kind   OpKind
+	Table  string
+	Key    string
+	EndKey string // exclusive upper bound for OpRangeRead
+	Value  []byte // payload for insert/update/upsert
+	Limit  int32  // max results for probe/range reads
+	Flavor ReadFlavor
+	// Versioned selects versioned writes (§6.2.2): the DC keeps the before
+	// version so other TCs can perform read-committed reads.
+	Versioned bool
+}
+
+func (o *Op) String() string {
+	return fmt.Sprintf("op{tc=%d lsn=%d %s %s/%q}", o.TC, o.LSN, o.Kind, o.Table, o.Key)
+}
+
+// ConflictsWith reports whether two operations logically conflict: same
+// table and overlapping footprint with at least one writer. The TC must
+// never have two conflicting operations outstanding at a DC concurrently
+// (§1.2); the DC asserts this in debug builds.
+func (o *Op) ConflictsWith(p *Op) bool {
+	if o.Table != p.Table {
+		return false
+	}
+	if !o.Kind.IsWrite() && !p.Kind.IsWrite() {
+		return false
+	}
+	// Versioned reads never conflict with writes (§6.2.2); dirty reads
+	// never conflict by definition (§6.2.1).
+	if isNonBlockingRead(o) || isNonBlockingRead(p) {
+		return false
+	}
+	return footprintOverlap(o, p)
+}
+
+func isNonBlockingRead(o *Op) bool {
+	if o.Kind.IsWrite() {
+		return false
+	}
+	return o.Flavor == ReadDirty || o.Flavor == ReadCommitted
+}
+
+func footprintOverlap(o, p *Op) bool {
+	lo1, hi1, pt1 := footprint(o)
+	lo2, hi2, pt2 := footprint(p)
+	if pt1 && pt2 {
+		return lo1 == lo2
+	}
+	if pt1 {
+		return lo2 <= lo1 && (hi2 == "" || lo1 < hi2)
+	}
+	if pt2 {
+		return lo1 <= lo2 && (hi1 == "" || lo2 < hi1)
+	}
+	// range vs range
+	if hi1 != "" && hi1 <= lo2 {
+		return false
+	}
+	if hi2 != "" && hi2 <= lo1 {
+		return false
+	}
+	return true
+}
+
+func footprint(o *Op) (lo, hi string, point bool) {
+	switch o.Kind {
+	case OpRangeRead, OpScanProbe:
+		return o.Key, o.EndKey, false
+	default:
+		return o.Key, "", true
+	}
+}
+
+// Result is the reply for one operation; LSN echoes the request identifier
+// so the reply can be correlated to the request (§4.2.1).
+type Result struct {
+	LSN   LSN
+	Code  Code
+	Found bool
+	Value []byte
+	// Prior carries the pre-image for update/delete on first execution.
+	// Resends of already-applied writes cannot reproduce it (PriorKnown
+	// false); the TC only consumes Prior from first replies.
+	Prior      []byte
+	PriorKnown bool
+	PriorFound bool
+	// Keys/Values carry probe and range-read results.
+	Keys   []string
+	Values [][]byte
+	// Applied is true when the DC recognized the request as already
+	// reflected in its state and skipped re-execution (idempotence, §4.2).
+	Applied bool
+}
+
+// Err returns the failure of the result as an error, nil when CodeOK.
+func (r *Result) Err() error { return r.Code.Err() }
+
+// Service is the TC:DC interface of §4.2.1, expressed as methods invoked by
+// the TC. Implementations: the DC itself (direct, in-process) and the wire
+// client stub (asynchronous messages with resend).
+type Service interface {
+	// Perform executes one logical operation exactly once (resend +
+	// idempotence). It blocks until a reply is available.
+	Perform(op *Op) *Result
+	// EndOfStableLog tells the DC that all operations with LSN <= eosl are
+	// stable in the TC log and will not be lost in a TC crash; causality
+	// then allows the DC to make such operations stable (write-ahead
+	// logging across the kernel split).
+	EndOfStableLog(tc TCID, eosl LSN)
+	// LowWaterMark tells the DC the TC has received replies for every
+	// operation with LSN <= lwm, so there are no gaps below lwm among the
+	// operations reflected in cached pages (§5.1.2).
+	LowWaterMark(tc TCID, lwm LSN)
+	// Checkpoint asks the DC to make stable every page containing effects
+	// of operations with LSN < newRSSP. When it returns nil, the contract
+	// requiring the TC to be able to resend those operations is released
+	// and the TC may advance its redo scan start point (§4.2.1).
+	Checkpoint(tc TCID, newRSSP LSN) error
+	// BeginRestart starts restart processing for one TC: the DC discards
+	// from its cache all effects of that TC's operations with LSN beyond
+	// stableLSN (they are lost forever; causality guarantees none are
+	// stable). Other TCs' data is untouched (§6.1.2).
+	BeginRestart(tc TCID, stableLSN LSN) error
+	// EndRestart acknowledges completion of the restart function, allowing
+	// normal processing to resume.
+	EndRestart(tc TCID) error
+}
+
+// op/result wire encodings -------------------------------------------------
+
+// AppendOp serializes op to buf using a compact length-prefixed binary
+// format (stdlib encoding/binary varints).
+func AppendOp(buf []byte, o *Op) []byte {
+	buf = binary.AppendUvarint(buf, uint64(o.TC))
+	buf = binary.AppendUvarint(buf, uint64(o.LSN))
+	buf = append(buf, byte(o.Kind), byte(o.Flavor), boolByte(o.Versioned))
+	buf = appendString(buf, o.Table)
+	buf = appendString(buf, o.Key)
+	buf = appendString(buf, o.EndKey)
+	buf = appendBytes(buf, o.Value)
+	buf = binary.AppendVarint(buf, int64(o.Limit))
+	return buf
+}
+
+// DecodeOp parses an operation previously produced by AppendOp and returns
+// the remaining bytes.
+func DecodeOp(buf []byte) (*Op, []byte, error) {
+	var o Op
+	var err error
+	var u uint64
+	if u, buf, err = readUvarint(buf); err != nil {
+		return nil, nil, err
+	}
+	o.TC = TCID(u)
+	if u, buf, err = readUvarint(buf); err != nil {
+		return nil, nil, err
+	}
+	o.LSN = LSN(u)
+	if len(buf) < 3 {
+		return nil, nil, errShort
+	}
+	o.Kind, o.Flavor, o.Versioned = OpKind(buf[0]), ReadFlavor(buf[1]), buf[2] != 0
+	buf = buf[3:]
+	if o.Table, buf, err = readString(buf); err != nil {
+		return nil, nil, err
+	}
+	if o.Key, buf, err = readString(buf); err != nil {
+		return nil, nil, err
+	}
+	if o.EndKey, buf, err = readString(buf); err != nil {
+		return nil, nil, err
+	}
+	if o.Value, buf, err = readBytes(buf); err != nil {
+		return nil, nil, err
+	}
+	var v int64
+	if v, buf, err = readVarint(buf); err != nil {
+		return nil, nil, err
+	}
+	o.Limit = int32(v)
+	return &o, buf, nil
+}
+
+// AppendResult serializes r to buf.
+func AppendResult(buf []byte, r *Result) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.LSN))
+	buf = append(buf, byte(r.Code), boolByte(r.Found), boolByte(r.PriorKnown),
+		boolByte(r.PriorFound), boolByte(r.Applied))
+	buf = appendBytes(buf, r.Value)
+	buf = appendBytes(buf, r.Prior)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Keys)))
+	for _, k := range r.Keys {
+		buf = appendString(buf, k)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Values)))
+	for _, v := range r.Values {
+		buf = appendBytes(buf, v)
+	}
+	return buf
+}
+
+// DecodeResult parses a result previously produced by AppendResult.
+func DecodeResult(buf []byte) (*Result, []byte, error) {
+	var r Result
+	var err error
+	var u uint64
+	if u, buf, err = readUvarint(buf); err != nil {
+		return nil, nil, err
+	}
+	r.LSN = LSN(u)
+	if len(buf) < 5 {
+		return nil, nil, errShort
+	}
+	r.Code = Code(buf[0])
+	r.Found, r.PriorKnown, r.PriorFound, r.Applied = buf[1] != 0, buf[2] != 0, buf[3] != 0, buf[4] != 0
+	buf = buf[5:]
+	if r.Value, buf, err = readBytes(buf); err != nil {
+		return nil, nil, err
+	}
+	if r.Prior, buf, err = readBytes(buf); err != nil {
+		return nil, nil, err
+	}
+	if u, buf, err = readUvarint(buf); err != nil {
+		return nil, nil, err
+	}
+	if u > uint64(len(buf)) {
+		return nil, nil, errShort
+	}
+	if u > 0 {
+		r.Keys = make([]string, u)
+		for i := range r.Keys {
+			if r.Keys[i], buf, err = readString(buf); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if u, buf, err = readUvarint(buf); err != nil {
+		return nil, nil, err
+	}
+	if u > uint64(len(buf)) {
+		return nil, nil, errShort
+	}
+	if u > 0 {
+		r.Values = make([][]byte, u)
+		for i := range r.Values {
+			if r.Values[i], buf, err = readBytes(buf); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return &r, buf, nil
+}
+
+// small codec helpers -------------------------------------------------------
+
+var errShort = fmt.Errorf("base: truncated encoding")
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	u, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, errShort
+	}
+	return u, buf[n:], nil
+}
+
+func readVarint(buf []byte) (int64, []byte, error) {
+	v, n := binary.Varint(buf)
+	if n <= 0 {
+		return 0, nil, errShort
+	}
+	return v, buf[n:], nil
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, buf, err := readUvarint(buf)
+	if err != nil || n > uint64(len(buf)) {
+		return "", nil, errShort
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+func readBytes(buf []byte) ([]byte, []byte, error) {
+	n, buf, err := readUvarint(buf)
+	if err != nil || n > uint64(len(buf)) {
+		return nil, nil, errShort
+	}
+	if n == 0 {
+		return nil, buf, nil
+	}
+	out := make([]byte, n)
+	copy(out, buf[:n])
+	return out, buf[n:], nil
+}

@@ -1,0 +1,211 @@
+// Package core assembles unbundled kernels: N transactional components
+// sharing M data components over a (possibly misbehaving) message fabric —
+// the architecture of Figure 1. It owns deployment-time concerns (table
+// placement, routing), failure injection (independent TC and DC crashes,
+// §5.3), and recovery orchestration (the out-of-band prompt that tells TCs
+// a DC needs its redo stream, §4.2.1).
+package core
+
+import (
+	"fmt"
+
+	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/dc"
+	"github.com/cidr09/unbundled/internal/tc"
+	"github.com/cidr09/unbundled/internal/wire"
+)
+
+// Options configures a deployment.
+type Options struct {
+	// TCs is the number of transactional components (IDs 1..TCs).
+	TCs int
+	// DCs is the number of data components.
+	DCs int
+	// Tables are created on every DC (routing decides which DC actually
+	// serves which key).
+	Tables []string
+	// Route maps (table, key) to a DC index. Nil routes everything to DC 0.
+	Route func(table, key string) int
+	// TCConfig customizes each TC (the ID field is overwritten).
+	TCConfig func(i int) tc.Config
+	// DCConfig customizes each DC (the Name field is overwritten).
+	DCConfig func(i int) dc.Config
+	// Network, when non-nil, interposes the wire fabric between every TC
+	// and DC; nil wires them with direct in-process calls.
+	Network *wire.Config
+}
+
+// Deployment is a running unbundled kernel.
+type Deployment struct {
+	TCs []*tc.TC
+	DCs []*dc.DC
+
+	net *wire.Network
+	// link [t][d] holds the wire pair for TC t -> DC d (nil when direct).
+	clients [][]*wire.Client
+	servers [][]*wire.Server
+	route   func(table, key string) int
+}
+
+// New builds and starts a deployment.
+func New(opts Options) (*Deployment, error) {
+	if opts.TCs <= 0 {
+		opts.TCs = 1
+	}
+	if opts.DCs <= 0 {
+		opts.DCs = 1
+	}
+	if opts.Route == nil {
+		opts.Route = func(string, string) int { return 0 }
+	}
+	d := &Deployment{route: opts.Route}
+	for i := 0; i < opts.DCs; i++ {
+		cfg := dc.Config{}
+		if opts.DCConfig != nil {
+			cfg = opts.DCConfig(i)
+		}
+		cfg.Name = fmt.Sprintf("dc%d", i)
+		dci, err := dc.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, table := range opts.Tables {
+			if err := dci.CreateTable(table); err != nil {
+				return nil, err
+			}
+		}
+		d.DCs = append(d.DCs, dci)
+	}
+	if opts.Network != nil {
+		d.net = wire.NewNetwork(*opts.Network)
+	}
+	for t := 0; t < opts.TCs; t++ {
+		cfg := tc.Config{}
+		if opts.TCConfig != nil {
+			cfg = opts.TCConfig(t)
+		}
+		cfg.ID = base.TCID(t + 1)
+		var services []base.Service
+		var clients []*wire.Client
+		var servers []*wire.Server
+		for dcIdx := 0; dcIdx < opts.DCs; dcIdx++ {
+			if d.net == nil {
+				services = append(services, d.DCs[dcIdx])
+				clients = append(clients, nil)
+				servers = append(servers, nil)
+				continue
+			}
+			cl, srv := d.net.Connect(d.DCs[dcIdx])
+			services = append(services, cl)
+			clients = append(clients, cl)
+			servers = append(servers, srv)
+		}
+		tci, err := tc.New(cfg, services, opts.Route)
+		if err != nil {
+			return nil, err
+		}
+		d.TCs = append(d.TCs, tci)
+		d.clients = append(d.clients, clients)
+		d.servers = append(d.servers, servers)
+	}
+	return d, nil
+}
+
+// Net exposes the network (stats), or nil for direct deployments.
+func (d *Deployment) Net() *wire.Network { return d.net }
+
+// Route returns the DC index serving (table, key).
+func (d *Deployment) Route(table, key string) int { return d.route(table, key) }
+
+// Close stops background work and wire pumps.
+func (d *Deployment) Close() {
+	for _, t := range d.TCs {
+		t.Close()
+	}
+	for ti := range d.clients {
+		for di := range d.clients[ti] {
+			if d.clients[ti][di] != nil {
+				d.clients[ti][di].Close()
+			}
+			if d.servers[ti][di] != nil {
+				d.servers[ti][di].Close()
+			}
+		}
+	}
+}
+
+// CrashDC fails data component i: its cache and volatile state are lost;
+// while down it answers nothing.
+func (d *Deployment) CrashDC(i int) {
+	for ti := range d.servers {
+		if d.servers[ti][i] != nil {
+			d.servers[ti][i].SetDown(true)
+		}
+	}
+	d.DCs[i].Crash()
+}
+
+// RecoverDC restarts data component i: DC-log recovery first (structures
+// well-formed), then every TC is prompted to resend its redo stream from
+// its redo scan start point (§4.2.1 restart, §5.3.2 "DC Failure").
+func (d *Deployment) RecoverDC(i int) error {
+	if err := d.DCs[i].Recover(); err != nil {
+		return err
+	}
+	for ti := range d.servers {
+		if d.servers[ti][i] != nil {
+			d.servers[ti][i].SetDown(false)
+		}
+	}
+	for _, t := range d.TCs {
+		if err := t.RecoverDC(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CrashTC fails transactional component i (0-based): its unforced log
+// tail, lock table, and transaction table are lost.
+func (d *Deployment) CrashTC(i int) {
+	d.TCs[i].Crash()
+}
+
+// RecoverTC restarts transactional component i: targeted DC cache resets,
+// redo resend, loser undo (§5.3.2 "TC Failure"). Other TCs sharing the
+// same DCs are not disturbed (§6.1.2).
+func (d *Deployment) RecoverTC(i int) error {
+	return d.TCs[i].Recover()
+}
+
+// CrashAll fails everything — the paper's "complete failure of both TC
+// and DC returns us to the current fail-together situation".
+func (d *Deployment) CrashAll() {
+	for i := range d.TCs {
+		d.CrashTC(i)
+	}
+	for i := range d.DCs {
+		d.CrashDC(i)
+	}
+}
+
+// RecoverAll restarts everything: DCs first (their structures must be
+// well-formed before TC redo), then TCs.
+func (d *Deployment) RecoverAll() error {
+	for i := range d.DCs {
+		if err := d.DCs[i].Recover(); err != nil {
+			return err
+		}
+		for ti := range d.servers {
+			if d.servers[ti][i] != nil {
+				d.servers[ti][i].SetDown(false)
+			}
+		}
+	}
+	for i := range d.TCs {
+		if err := d.TCs[i].Recover(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

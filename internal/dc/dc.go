@@ -1,0 +1,406 @@
+// Package dc implements the Data Component (§4.1.2): a server for logical,
+// record-oriented operations that knows nothing about transactions. It
+// organizes, searches, updates, caches, and makes durable the data in the
+// database; it makes each individual operation atomic and idempotent so
+// that the TC's resend discipline yields exactly-once execution (§4.2).
+//
+// All knowledge of pages lives here. Structure modifications are system
+// transactions on the DC-log (package dclog); the abstract-LSN machinery
+// (package ablsn) provides idempotence despite out-of-order operation
+// arrival (§5.1); the buffer pool (package buffer) enforces the causality
+// and WAL gates; and partial failures are handled by the targeted cache
+// reset of §5.3.2/§6.1.2.
+package dc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/btree"
+	"github.com/cidr09/unbundled/internal/buffer"
+	"github.com/cidr09/unbundled/internal/dclog"
+	"github.com/cidr09/unbundled/internal/page"
+	"github.com/cidr09/unbundled/internal/storage"
+	"github.com/cidr09/unbundled/internal/wal"
+)
+
+// catalogPageID is the well-known page holding table -> root mappings; it
+// is the first page allocated when a DC is formatted.
+const catalogPageID = base.PageID(1)
+
+// Config shapes a DC instance.
+type Config struct {
+	// Name identifies the DC in diagnostics.
+	Name string
+	// PageBytes is the split threshold (default 4096).
+	PageBytes int
+	// CacheCapacity is the buffer-pool capacity in pages.
+	CacheCapacity int
+	// Strategy is the §5.1.2 page-sync strategy (default SyncFull).
+	Strategy buffer.SyncStrategy
+	// HybridMax is the SyncHybrid threshold.
+	HybridMax int
+	// CheckConflicts enables the debug invariant that no two conflicting
+	// operations execute concurrently (the TC's obligation, §1.2).
+	CheckConflicts bool
+}
+
+// Stats counts DC activity.
+type Stats struct {
+	Performs      uint64
+	DupSkips      uint64 // operations recognized as already applied
+	Unavailable   uint64
+	ResetPages    uint64 // pages reset by partial-failure restarts
+	RestoredRecs  uint64 // records restored from disk versions during reset
+	ConflictViols uint64 // debug conflict-checker violations (must be 0)
+}
+
+type dcState int
+
+const (
+	stateRunning dcState = iota
+	stateDown
+	stateRecovering
+)
+
+// tcState is the DC's per-TC bookkeeping: the watermarks that drive
+// flushing and pruning.
+type tcState struct {
+	eosl atomic.Uint64
+	lwm  atomic.Uint64
+}
+
+// DC is one data component. It implements base.Service.
+type DC struct {
+	cfg    Config
+	store  *storage.PageStore
+	dmedia *storage.LogStore
+
+	mu        sync.Mutex // guards state, trees, tcs, pageTable
+	state     dcState
+	dlog      *wal.Log
+	pool      *buffer.Pool
+	trees     map[string]*btree.Tree
+	pageTable map[base.PageID]string // page -> table (for reset routing)
+	tcs       map[base.TCID]*tcState
+
+	inflight *conflictTable
+
+	performs, dupSkips, unavailable   atomic.Uint64
+	resetPages, restoredRecs, conVios atomic.Uint64
+}
+
+// New formats (or re-opens) a DC over fresh stable media.
+func New(cfg Config) (*DC, error) {
+	if cfg.PageBytes <= 0 {
+		cfg.PageBytes = 4096
+	}
+	d := &DC{
+		cfg:       cfg,
+		store:     storage.NewPageStore(),
+		dmedia:    storage.NewLogStore(),
+		trees:     make(map[string]*btree.Tree),
+		pageTable: make(map[base.PageID]string),
+		tcs:       make(map[base.TCID]*tcState),
+	}
+	if cfg.CheckConflicts {
+		d.inflight = newConflictTable()
+	}
+	var err error
+	d.dlog, err = wal.New(d.dmedia)
+	if err != nil {
+		return nil, err
+	}
+	d.pool = d.newPool()
+	// Format: the catalog page is the first allocation.
+	id := d.store.AllocPageID()
+	if id != catalogPageID {
+		return nil, fmt.Errorf("dc %s: catalog got page %d", cfg.Name, id)
+	}
+	cat := page.NewLeaf(catalogPageID)
+	d.store.Write(catalogPageID, cat.Encode())
+	return d, nil
+}
+
+func (d *DC) newPool() *buffer.Pool {
+	return buffer.New(
+		buffer.Config{Capacity: d.cfg.CacheCapacity, Strategy: d.cfg.Strategy, HybridMax: d.cfg.HybridMax},
+		d.store,
+		buffer.Gates{
+			EOSL:       func(tc base.TCID) base.LSN { return base.LSN(d.tcState(tc).eosl.Load()) },
+			LWM:        func(tc base.TCID) base.LSN { return base.LSN(d.tcState(tc).lwm.Load()) },
+			ForceDCLog: func(dl base.DLSN) { d.dlog.ForceTo(base.LSN(dl)) },
+		})
+}
+
+func (d *DC) tcState(tc base.TCID) *tcState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.tcs[tc]
+	if s == nil {
+		s = &tcState{}
+		d.tcs[tc] = s
+	}
+	return s
+}
+
+// poolNow returns the current buffer pool (nil while crashed). Callers
+// racing with a crash may operate on a superseded pool: such work lands in
+// a discarded cache, which is precisely the semantics of losing volatile
+// state in the crash.
+func (d *DC) poolNow() *buffer.Pool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pool
+}
+
+// AppendSMO implements dclog.Logger.
+func (d *DC) AppendSMO(kind uint8, payload []byte) base.DLSN {
+	return base.DLSN(d.dlog.AppendAssign(&wal.Record{Kind: kind, Payload: payload}))
+}
+
+// ForceSMO implements dclog.Logger.
+func (d *DC) ForceSMO(dl base.DLSN) { d.dlog.ForceTo(base.LSN(dl)) }
+
+// Name returns the DC's configured name.
+func (d *DC) Name() string { return d.cfg.Name }
+
+// Pool exposes the buffer pool (experiments read its stats).
+func (d *DC) Pool() *buffer.Pool { return d.pool }
+
+// Store exposes the stable page store (experiments and invariant checks).
+func (d *DC) Store() *storage.PageStore { return d.store }
+
+// DCLog exposes the DC-log (experiments measure SMO log volume).
+func (d *DC) DCLog() *wal.Log { return d.dlog }
+
+// Tree returns the B-tree for table, or nil.
+func (d *DC) Tree(table string) *btree.Tree {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.trees[table]
+}
+
+// Tables returns the table names (sorted order not guaranteed).
+func (d *DC) Tables() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.trees))
+	for t := range d.trees {
+		out = append(out, t)
+	}
+	return out
+}
+
+// CreateTable durably creates an empty table (administrative operation,
+// run at deployment time). Idempotent.
+func (d *DC) CreateTable(table string) error {
+	d.mu.Lock()
+	if _, ok := d.trees[table]; ok {
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+
+	pool := d.poolNow()
+	if pool == nil {
+		return fmt.Errorf("dc %s: unavailable", d.cfg.Name)
+	}
+	rootID := d.store.AllocPageID()
+	root := page.NewLeaf(rootID)
+	rec := &dclog.CreateTree{Table: table, RootID: rootID, RootImage: root.Encode()}
+	dlsn := d.AppendSMO(dclog.KindCreateTree, rec.Encode())
+	root.DLSN = dlsn
+	pool.MarkDirty(root, 0, 0, dlsn)
+	pool.Install(root)
+	pool.Unpin(rootID)
+	d.updateCatalog(pool, table, rootID, dlsn)
+	d.ForceSMO(dlsn)
+
+	d.mu.Lock()
+	d.trees[table] = d.newTree(table, rootID, pool)
+	d.pageTable[rootID] = table
+	d.mu.Unlock()
+	return nil
+}
+
+// newTree binds a tree to one pool incarnation; trees are rebuilt (against
+// the fresh pool) by Recover after a crash.
+func (d *DC) newTree(table string, root base.PageID, pool *buffer.Pool) *btree.Tree {
+	return btree.New(table, root, btree.Config{MaxPageBytes: d.cfg.PageBytes},
+		pool,
+		func() base.PageID {
+			id := d.store.AllocPageID()
+			d.mu.Lock()
+			d.pageTable[id] = table
+			d.mu.Unlock()
+			return id
+		},
+		d,
+		func(newRoot base.PageID, dlsn base.DLSN) {
+			d.mu.Lock()
+			d.pageTable[newRoot] = table
+			d.mu.Unlock()
+			d.updateCatalog(pool, table, newRoot, dlsn)
+		})
+}
+
+// updateCatalog records table -> root in the catalog page as part of the
+// system transaction with the given dLSN.
+func (d *DC) updateCatalog(pool *buffer.Pool, table string, root base.PageID, dlsn base.DLSN) {
+	cat, err := pool.Fetch(catalogPageID)
+	if err != nil || cat == nil {
+		panic(fmt.Sprintf("dc %s: catalog page unavailable: %v", d.cfg.Name, err))
+	}
+	cat.L.Lock()
+	cat.Put(page.Record{Key: table, Value: binary.AppendUvarint(nil, uint64(root))})
+	if dlsn > cat.DLSN {
+		cat.DLSN = dlsn
+	}
+	pool.MarkDirty(cat, 0, 0, dlsn)
+	cat.L.Unlock()
+	pool.Unpin(catalogPageID)
+}
+
+// EndOfStableLog implements base.Service (§4.2.1): all operations with
+// LSN <= eosl are stable in the TC log; causality then allows the DC to
+// make them stable too.
+func (d *DC) EndOfStableLog(tc base.TCID, eosl base.LSN) {
+	s := d.tcState(tc)
+	for {
+		cur := s.eosl.Load()
+		if uint64(eosl) <= cur || s.eosl.CompareAndSwap(cur, uint64(eosl)) {
+			break
+		}
+	}
+	if p := d.poolNow(); p != nil {
+		p.Kick()
+	}
+}
+
+// LowWaterMark implements base.Service (§4.2.1): the TC has received
+// replies for every operation with LSN <= lwm, so LSNlw on cached pages
+// may advance (bounded by EOSL; see buffer and ablsn for why).
+func (d *DC) LowWaterMark(tc base.TCID, lwm base.LSN) {
+	s := d.tcState(tc)
+	for {
+		cur := s.lwm.Load()
+		if uint64(lwm) <= cur || s.lwm.CompareAndSwap(cur, uint64(lwm)) {
+			break
+		}
+	}
+	if p := d.poolNow(); p != nil {
+		p.Kick()
+	}
+}
+
+// Checkpoint implements base.Service (§4.2.1): make stable all pages that
+// contain effects of operations with LSN < newRSSP for tc, releasing the
+// TC's resend obligation below newRSSP. The TC has forced its log through
+// newRSSP before calling, so the causality gate is open.
+func (d *DC) Checkpoint(tc base.TCID, newRSSP base.LSN) error {
+	pool := d.runningPool()
+	if pool == nil {
+		return fmt.Errorf("dc %s: unavailable", d.cfg.Name)
+	}
+	err := pool.FlushAll(true, func(pg *page.Page) bool {
+		first, ok := pg.FirstDirty[tc]
+		return ok && first < newRSSP
+	})
+	if err != nil {
+		return err
+	}
+	// Best-effort pass over pages dirtied only by system transactions
+	// (branch pages, the catalog): flushing them lets the DC-log truncate.
+	// Pages gated by other TCs' log stability are skipped, bounding the
+	// truncation point accordingly.
+	_ = pool.FlushAll(false, func(pg *page.Page) bool {
+		return pg.Dirty && len(pg.FirstDirty) == 0
+	})
+	d.truncateDCLog(pool)
+	return nil
+}
+
+// runningPool returns the pool iff the DC is serving requests.
+func (d *DC) runningPool() *buffer.Pool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != stateRunning {
+		return nil
+	}
+	return d.pool
+}
+
+// truncateDCLog discards DC-log records whose effects are fully stable:
+// everything below the minimum RecDLSN among dirty cached pages.
+func (d *DC) truncateDCLog(pool *buffer.Pool) {
+	minD := d.dlog.LastLSN() + 1
+	pool.Pages(func(pg *page.Page) {
+		pg.L.RLock()
+		if pg.Dirty && pg.RecDLSN != 0 && base.LSN(pg.RecDLSN) < minD {
+			minD = base.LSN(pg.RecDLSN)
+		}
+		pg.L.RUnlock()
+	})
+	stable := d.dlog.EOSL()
+	if minD > stable+1 {
+		minD = stable + 1
+	}
+	d.dlog.Truncate(minD)
+}
+
+func (d *DC) running() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state == stateRunning
+}
+
+// Stats returns a snapshot of counters.
+func (d *DC) Stats() Stats {
+	return Stats{
+		Performs:      d.performs.Load(),
+		DupSkips:      d.dupSkips.Load(),
+		Unavailable:   d.unavailable.Load(),
+		ResetPages:    d.resetPages.Load(),
+		RestoredRecs:  d.restoredRecs.Load(),
+		ConflictViols: d.conVios.Load(),
+	}
+}
+
+// conflictTable is the debug checker for the §1.2 invariant: the TC never
+// sends logically conflicting operations concurrently to a DC.
+type conflictTable struct {
+	mu  sync.Mutex
+	ops map[*base.Op]struct{}
+}
+
+func newConflictTable() *conflictTable {
+	return &conflictTable{ops: make(map[*base.Op]struct{})}
+}
+
+// enter registers op, reporting how many conflicting operations are
+// currently in flight (excluding duplicates of op itself).
+func (c *conflictTable) enter(op *base.Op) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conflicts := 0
+	for other := range c.ops {
+		if other.TC == op.TC && other.LSN == op.LSN {
+			continue // resend duplicate of the same request
+		}
+		if op.ConflictsWith(other) {
+			conflicts++
+		}
+	}
+	c.ops[op] = struct{}{}
+	return conflicts
+}
+
+func (c *conflictTable) exit(op *base.Op) {
+	c.mu.Lock()
+	delete(c.ops, op)
+	c.mu.Unlock()
+}

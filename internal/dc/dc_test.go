@@ -1,0 +1,520 @@
+package dc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/buffer"
+)
+
+func newDC(t *testing.T, cfg Config) *DC {
+	t.Helper()
+	if cfg.Name == "" {
+		cfg.Name = "test-dc"
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// opHelper issues operations with an incrementing LSN for one TC and
+// mirrors the TC's watermark duties.
+type opHelper struct {
+	d    *DC
+	tc   base.TCID
+	next base.LSN
+	// ops issued so far, for replay in recovery tests.
+	issued []*base.Op
+}
+
+func newOpHelper(d *DC, tc base.TCID) *opHelper {
+	return &opHelper{d: d, tc: tc, next: 1}
+}
+
+func (h *opHelper) do(kind base.OpKind, key string, val []byte, versioned bool) *base.Result {
+	op := &base.Op{TC: h.tc, LSN: h.next, Kind: kind, Table: "t", Key: key,
+		Value: val, Versioned: versioned}
+	h.next++
+	h.issued = append(h.issued, op)
+	return h.d.Perform(op)
+}
+
+func (h *opHelper) insert(key, val string) *base.Result {
+	return h.do(base.OpInsert, key, []byte(val), false)
+}
+func (h *opHelper) update(key, val string) *base.Result {
+	return h.do(base.OpUpdate, key, []byte(val), false)
+}
+func (h *opHelper) del(key string) *base.Result { return h.do(base.OpDelete, key, nil, false) }
+func (h *opHelper) read(key string) *base.Result {
+	return h.d.Perform(&base.Op{TC: h.tc, LSN: 0, Kind: base.OpRead, Table: "t", Key: key})
+}
+
+// ack tells the DC everything issued so far is stable and acknowledged.
+func (h *opHelper) ack() {
+	h.d.EndOfStableLog(h.tc, h.next-1)
+	h.d.LowWaterMark(h.tc, h.next-1)
+}
+
+func TestBasicCRUD(t *testing.T) {
+	d := newDC(t, Config{})
+	h := newOpHelper(d, 1)
+	if res := h.insert("a", "1"); res.Code != base.CodeOK {
+		t.Fatalf("insert: %+v", res)
+	}
+	if res := h.read("a"); !res.Found || string(res.Value) != "1" {
+		t.Fatalf("read: %+v", res)
+	}
+	if res := h.insert("a", "2"); res.Code != base.CodeDuplicate {
+		t.Fatalf("dup insert: %+v", res)
+	}
+	if res := h.update("a", "2"); res.Code != base.CodeOK || string(res.Prior) != "1" || !res.PriorKnown {
+		t.Fatalf("update: %+v", res)
+	}
+	if res := h.update("missing", "x"); res.Code != base.CodeNotFound {
+		t.Fatalf("update missing: %+v", res)
+	}
+	if res := h.del("a"); res.Code != base.CodeOK || string(res.Prior) != "2" {
+		t.Fatalf("delete: %+v", res)
+	}
+	if res := h.read("a"); res.Code != base.CodeNotFound {
+		t.Fatalf("read after delete: %+v", res)
+	}
+	if res := h.del("a"); res.Code != base.CodeNotFound {
+		t.Fatalf("double delete: %+v", res)
+	}
+}
+
+func TestResendIdempotence(t *testing.T) {
+	d := newDC(t, Config{})
+	h := newOpHelper(d, 1)
+	res := h.insert("k", "v")
+	if res.Code != base.CodeOK || res.Applied {
+		t.Fatalf("first: %+v", res)
+	}
+	// Resend with the same request ID: recognized, skipped, acknowledged.
+	op := h.issued[len(h.issued)-1]
+	res2 := d.Perform(op)
+	if res2.Code != base.CodeOK || !res2.Applied {
+		t.Fatalf("resend: %+v", res2)
+	}
+	if d.Stats().DupSkips != 1 {
+		t.Fatalf("stats: %+v", d.Stats())
+	}
+	// The update resend must not re-apply either.
+	up := &base.Op{TC: 1, LSN: h.next, Kind: base.OpUpdate, Table: "t", Key: "k", Value: []byte("v2")}
+	h.next++
+	if r := d.Perform(up); r.Code != base.CodeOK || string(r.Prior) != "v" {
+		t.Fatalf("update: %+v", r)
+	}
+	if r := d.Perform(up); !r.Applied {
+		t.Fatalf("update resend not skipped: %+v", r)
+	}
+	if r := h.read("k"); string(r.Value) != "v2" {
+		t.Fatalf("final value: %+v", r)
+	}
+}
+
+func TestOutOfOrderArrival(t *testing.T) {
+	// §5.1: a later operation (higher LSN) reaches the page before an
+	// earlier one. Both must apply; neither may be misclassified.
+	d := newDC(t, Config{})
+	late := &base.Op{TC: 1, LSN: 7, Kind: base.OpInsert, Table: "t", Key: "b", Value: []byte("late")}
+	early := &base.Op{TC: 1, LSN: 3, Kind: base.OpInsert, Table: "t", Key: "a", Value: []byte("early")}
+	if r := d.Perform(late); r.Code != base.CodeOK {
+		t.Fatalf("late: %+v", r)
+	}
+	// The traditional page-LSN test would now claim LSN 3 applied.
+	if r := d.Perform(early); r.Code != base.CodeOK || r.Applied {
+		t.Fatalf("early treated as applied: %+v", r)
+	}
+	// Resends of both are recognized.
+	if r := d.Perform(late); !r.Applied {
+		t.Fatalf("late resend: %+v", r)
+	}
+	if r := d.Perform(early); !r.Applied {
+		t.Fatalf("early resend: %+v", r)
+	}
+}
+
+func TestVersionedSharing(t *testing.T) {
+	// §6.2.2: TC 1 updates its partition with versioning; TC 2 reads
+	// committed data without blocking and without 2PC.
+	d := newDC(t, Config{})
+	h := newOpHelper(d, 1)
+	h.do(base.OpInsert, "user1", []byte("profile-v1"), true)
+	h.do(base.OpCommitVersions, "user1", nil, false)
+
+	rc := func() *base.Result {
+		return d.Perform(&base.Op{TC: 2, Kind: base.OpRead, Table: "t", Key: "user1",
+			Flavor: base.ReadCommitted})
+	}
+	if r := rc(); !r.Found || string(r.Value) != "profile-v1" {
+		t.Fatalf("committed read: %+v", r)
+	}
+	// Uncommitted update: committed readers still see v1; dirty sees v2.
+	h.do(base.OpUpdate, "user1", []byte("profile-v2"), true)
+	if r := rc(); !r.Found || string(r.Value) != "profile-v1" {
+		t.Fatalf("committed read during update: %+v", r)
+	}
+	dirty := d.Perform(&base.Op{TC: 2, Kind: base.OpRead, Table: "t", Key: "user1",
+		Flavor: base.ReadDirty})
+	if !dirty.Found || string(dirty.Value) != "profile-v2" {
+		t.Fatalf("dirty read: %+v", dirty)
+	}
+	// Abort: v2 vanishes.
+	h.do(base.OpAbortVersions, "user1", nil, false)
+	if r := rc(); string(r.Value) != "profile-v1" {
+		t.Fatalf("after abort: %+v", r)
+	}
+	// New update committed: readers switch to v3.
+	h.do(base.OpUpdate, "user1", []byte("profile-v3"), true)
+	h.do(base.OpCommitVersions, "user1", nil, false)
+	if r := rc(); string(r.Value) != "profile-v3" {
+		t.Fatalf("after commit: %+v", r)
+	}
+	// Versioned delete: committed readers see the before version until
+	// commit, nothing after.
+	h.do(base.OpDelete, "user1", nil, true)
+	if r := rc(); !r.Found || string(r.Value) != "profile-v3" {
+		t.Fatalf("committed read during delete: %+v", r)
+	}
+	h.do(base.OpCommitVersions, "user1", nil, false)
+	if r := rc(); r.Found {
+		t.Fatalf("after committed delete: %+v", r)
+	}
+}
+
+func TestVersionedInsertAbortRemoves(t *testing.T) {
+	d := newDC(t, Config{})
+	h := newOpHelper(d, 1)
+	h.do(base.OpInsert, "x", []byte("v"), true)
+	h.do(base.OpAbortVersions, "x", nil, false)
+	if r := h.read("x"); r.Found {
+		t.Fatalf("aborted insert persisted: %+v", r)
+	}
+}
+
+func TestScanProbeAndRangeRead(t *testing.T) {
+	d := newDC(t, Config{PageBytes: 256})
+	h := newOpHelper(d, 1)
+	for i := 0; i < 50; i++ {
+		h.insert(fmt.Sprintf("k%03d", i), "v")
+	}
+	probe := d.Perform(&base.Op{TC: 1, Kind: base.OpScanProbe, Table: "t", Key: "k010", Limit: 5})
+	if len(probe.Keys) != 5 || probe.Keys[0] != "k010" || probe.Keys[4] != "k014" {
+		t.Fatalf("probe: %v", probe.Keys)
+	}
+	rr := d.Perform(&base.Op{TC: 1, Kind: base.OpRangeRead, Table: "t", Key: "k010", EndKey: "k015"})
+	if len(rr.Keys) != 5 || len(rr.Values) != 5 {
+		t.Fatalf("range: %v", rr.Keys)
+	}
+}
+
+func TestDCCrashRecoveryWithSplits(t *testing.T) {
+	// Build a tree big enough to split many times, checkpoint part of it,
+	// crash, recover, then replay the op stream as the TC would. All data
+	// must survive and the structure must be well-formed before redo.
+	d := newDC(t, Config{PageBytes: 256})
+	h := newOpHelper(d, 1)
+	const n = 300
+	for i := 0; i < n; i++ {
+		if r := h.insert(fmt.Sprintf("key%05d", i), fmt.Sprintf("v%d", i)); r.Code != base.CodeOK {
+			t.Fatalf("insert %d: %+v", i, r)
+		}
+	}
+	h.ack()
+	// Checkpoint half the LSN space: pages with earlier ops are forced.
+	mid := base.LSN(n / 2)
+	if err := d.Checkpoint(1, mid); err != nil {
+		t.Fatal(err)
+	}
+
+	d.Crash()
+	// While down: unavailable.
+	if r := d.Perform(&base.Op{TC: 1, LSN: 9999, Kind: base.OpRead, Table: "t", Key: "key00000"}); r.Code != base.CodeUnavailable {
+		t.Fatalf("down DC answered: %+v", r)
+	}
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// The search structure must be well-formed immediately after DC-log
+	// recovery, before any TC redo (§4.2 Recovery).
+	if err := d.Tree("t").CheckInvariants(); err != nil {
+		t.Fatalf("structure not well-formed before redo: %v", err)
+	}
+
+	// TC redo: resend everything from the redo scan start point (we use 0
+	// = everything; abstract LSNs skip what survived).
+	for _, op := range h.issued {
+		if r := d.Perform(op); r.Code != base.CodeOK {
+			t.Fatalf("redo %v: %+v", op, r)
+		}
+	}
+	h.ack()
+	for i := 0; i < n; i++ {
+		r := h.read(fmt.Sprintf("key%05d", i))
+		if !r.Found || string(r.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d lost after recovery: %+v", i, r)
+		}
+	}
+	if err := d.Tree("t").CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCCrashRecoveryWithConsolidates(t *testing.T) {
+	d := newDC(t, Config{PageBytes: 256})
+	h := newOpHelper(d, 1)
+	const n = 300
+	for i := 0; i < n; i++ {
+		h.insert(fmt.Sprintf("key%05d", i), "v")
+	}
+	for i := 0; i < n; i++ {
+		if i%7 != 0 {
+			h.del(fmt.Sprintf("key%05d", i))
+		}
+	}
+	h.ack()
+	if _, cons := d.Tree("t").Stats(); cons == 0 {
+		t.Fatal("expected consolidations")
+	}
+	d.Crash()
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Tree("t").CheckInvariants(); err != nil {
+		t.Fatalf("structure after consolidate redo: %v", err)
+	}
+	for _, op := range h.issued {
+		r := d.Perform(op)
+		if r.Code != base.CodeOK && r.Code != base.CodeDuplicate && r.Code != base.CodeNotFound {
+			t.Fatalf("redo %v: %+v", op, r)
+		}
+	}
+	for i := 0; i < n; i++ {
+		r := h.read(fmt.Sprintf("key%05d", i))
+		if i%7 == 0 && !r.Found {
+			t.Fatalf("surviving key %d lost", i)
+		}
+		if i%7 != 0 && r.Found {
+			t.Fatalf("deleted key %d resurrected", i)
+		}
+	}
+}
+
+func TestTCFailureReset(t *testing.T) {
+	// §5.3.2: the TC loses its log tail; the DC must drop from its cache
+	// exactly the pages whose abstract LSNs include operations beyond the
+	// stable log, resetting them from disk.
+	d := newDC(t, Config{})
+	h := newOpHelper(d, 1)
+	h.insert("a", "stable")
+	// Stabilize: log stable through LSN 1, page flushed.
+	d.EndOfStableLog(1, 1)
+	d.LowWaterMark(1, 1)
+	if err := d.Checkpoint(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Lost tail: ops 2..3 applied but never forced at the TC.
+	h.update("a", "lost1")
+	h.insert("b", "lost2")
+	if r := h.read("a"); string(r.Value) != "lost1" {
+		t.Fatalf("pre-crash read: %+v", r)
+	}
+	// TC crashes with stable log end = 1.
+	if err := d.BeginRestart(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndRestart(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().ResetPages == 0 {
+		t.Fatal("no pages were reset")
+	}
+	// The stable value is back; the lost operations' effects are gone.
+	if r := h.read("a"); !r.Found || string(r.Value) != "stable" {
+		t.Fatalf("after reset: %+v", r)
+	}
+	if r := h.read("b"); r.Found {
+		t.Fatalf("lost insert survived: %+v", r)
+	}
+	// The restarted TC reuses LSNs 2..: they must execute (not be treated
+	// as already applied).
+	reuse := &base.Op{TC: 1, LSN: 2, Kind: base.OpInsert, Table: "t", Key: "c", Value: []byte("new2")}
+	if r := d.Perform(reuse); r.Code != base.CodeOK || r.Applied {
+		t.Fatalf("reused LSN mishandled: %+v", r)
+	}
+}
+
+func TestMultiTCResetIsolation(t *testing.T) {
+	// §6.1.2: resetting the failed TC's records must not disturb records
+	// of other TCs on the same pages.
+	d := newDC(t, Config{})
+	h1 := newOpHelper(d, 1)
+	h2 := newOpHelper(d, 2)
+	h1.insert("tc1-a", "stable1")
+	h2.insert("tc2-a", "stable2")
+	d.EndOfStableLog(1, 1)
+	d.LowWaterMark(1, 1)
+	d.EndOfStableLog(2, 1)
+	d.LowWaterMark(2, 1)
+	if err := d.Checkpoint(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Both TCs apply further unstable ops to the same page.
+	h1.update("tc1-a", "lost")
+	h2.update("tc2-a", "kept-unstable")
+	// TC 1 crashes; TC 2 is fine.
+	if err := d.BeginRestart(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r := h1.read("tc1-a"); string(r.Value) != "stable1" {
+		t.Fatalf("tc1 record not reset: %+v", r)
+	}
+	// TC 2's unstable update must survive: only the failing TC resends.
+	if r := h2.read("tc2-a"); string(r.Value) != "kept-unstable" {
+		t.Fatalf("tc2 record disturbed: %+v", r)
+	}
+}
+
+func TestCheckpointFlushesAndTruncates(t *testing.T) {
+	d := newDC(t, Config{PageBytes: 256})
+	h := newOpHelper(d, 1)
+	for i := 0; i < 100; i++ {
+		h.insert(fmt.Sprintf("key%04d", i), "v")
+	}
+	h.ack()
+	if n := len(d.DCLog().Scan(0)); n == 0 && d.DCLog().LastLSN() > 0 {
+		// Splits happened but nothing is forced yet; that is fine.
+		t.Logf("pre-checkpoint stable DC-log records: %d", n)
+	}
+	if err := d.Checkpoint(1, h.next); err != nil {
+		t.Fatal(err)
+	}
+	// All dirty pages stable; the DC-log contract is released entirely.
+	if n := len(d.DCLog().Scan(0)); n != 0 {
+		t.Fatalf("DC-log not truncated: %d stable records remain", n)
+	}
+	// Everything survives a crash with no redo needed.
+	d.Crash()
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if r := h.read(fmt.Sprintf("key%04d", i)); !r.Found {
+			t.Fatalf("key %d lost after checkpointed crash", i)
+		}
+	}
+}
+
+func TestConflictCheckerCatchesViolation(t *testing.T) {
+	d := newDC(t, Config{CheckConflicts: true})
+	// Two conflicting writes with different LSNs in flight concurrently:
+	// the checker must notice. We simulate by entering via the table
+	// directly (Perform is too fast to overlap reliably).
+	op1 := &base.Op{TC: 1, LSN: 1, Kind: base.OpUpdate, Table: "t", Key: "k"}
+	op2 := &base.Op{TC: 1, LSN: 2, Kind: base.OpUpdate, Table: "t", Key: "k"}
+	d.inflight.enter(op1)
+	if n := d.inflight.enter(op2); n != 1 {
+		t.Fatalf("conflict not detected: %d", n)
+	}
+	d.inflight.exit(op1)
+	d.inflight.exit(op2)
+	// Duplicate resends of the same request never count as conflicts.
+	d.inflight.enter(op1)
+	dup := *op1
+	if n := d.inflight.enter(&dup); n != 0 {
+		t.Fatalf("resend miscounted as conflict: %d", n)
+	}
+}
+
+func TestPageSyncStrategiesEndToEnd(t *testing.T) {
+	for _, strat := range []buffer.SyncStrategy{buffer.SyncBlock, buffer.SyncFull, buffer.SyncHybrid} {
+		t.Run(strat.String(), func(t *testing.T) {
+			d := newDC(t, Config{Strategy: strat, HybridMax: 4})
+			h := newOpHelper(d, 1)
+			for i := 0; i < 50; i++ {
+				h.insert(fmt.Sprintf("k%03d", i), "v")
+			}
+			h.ack()
+			if err := d.Checkpoint(1, h.next); err != nil {
+				t.Fatal(err)
+			}
+			d.Crash()
+			if err := d.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 50; i++ {
+				if r := h.read(fmt.Sprintf("k%03d", i)); !r.Found {
+					t.Fatalf("strategy %v lost key %d", strat, i)
+				}
+			}
+		})
+	}
+}
+
+func TestRandomizedCrashReplayConvergence(t *testing.T) {
+	// Repeatedly: random ops, random acks, random crash+recover+full
+	// replay; final state must match a model applied in LSN order.
+	rnd := rand.New(rand.NewSource(11))
+	d := newDC(t, Config{PageBytes: 256})
+	h := newOpHelper(d, 1)
+	model := map[string]string{}
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 150; i++ {
+			k := fmt.Sprintf("k%03d", rnd.Intn(120))
+			switch rnd.Intn(3) {
+			case 0:
+				v := fmt.Sprintf("v%d", h.next)
+				if r := h.do(base.OpUpsert, k, []byte(v), false); r.Code == base.CodeOK {
+					model[k] = v
+				}
+			case 1:
+				if r := h.del(k); r.Code == base.CodeOK {
+					delete(model, k)
+				}
+			case 2:
+				want, ok := model[k]
+				r := h.read(k)
+				if ok != r.Found || (ok && want != string(r.Value)) {
+					t.Fatalf("round %d: read %q = %+v want %q,%v", round, k, r, want, ok)
+				}
+			}
+		}
+		h.ack()
+		if rnd.Intn(2) == 0 {
+			if err := d.Checkpoint(1, h.next); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Crash()
+		if err := d.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		// Full redo from LSN 0 (superset of any RSSP; idempotence filters).
+		for _, op := range h.issued {
+			d.Perform(op)
+		}
+		h.ack()
+		for k, want := range model {
+			r := h.read(k)
+			if !r.Found || string(r.Value) != want {
+				t.Fatalf("round %d: after recovery %q = %+v want %q", round, k, r, want)
+			}
+		}
+		if err := d.Tree("t").CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

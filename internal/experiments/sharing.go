@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cidr09/unbundled/internal/core"
+	"github.com/cidr09/unbundled/internal/harness"
+	"github.com/cidr09/unbundled/internal/tc"
+	"github.com/cidr09/unbundled/internal/workload"
+)
+
+// E7 reproduces §6: multiple TCs updating disjoint partitions of one DC,
+// plus never-blocked read-committed readers over versioned data. The
+// throughput column shows update scaling with TC count; the reader row
+// shows read latency while all writers are running (readers take no locks
+// and are "never blocked" — §6.2.2).
+func E7(s Scale) *harness.Table {
+	t := harness.NewTable("note")
+	for _, tcs := range []int{1, 2, 4} {
+		dep, err := core.New(core.Options{TCs: tcs + 1, DCs: 1, Tables: []string{"users"}})
+		if err != nil {
+			panic(err)
+		}
+		var wg sync.WaitGroup
+		var committed atomic.Uint64
+		start := time.Now()
+		for w := 0; w < tcs; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				tcx := dep.TCs[w]
+				g := s.kv(0).NewGen(w)
+				for i := 0; i < s.TxnsPerW; i++ {
+					key := fmt.Sprintf("p%d/%s", w, g.Key())
+					if err := tcx.RunTxn(true, func(x *tc.Txn) error {
+						return x.Upsert("users", key, g.Value())
+					}); err == nil {
+						committed.Add(1)
+					}
+				}
+			}(w)
+		}
+		// The reader TC does read-committed point reads throughout.
+		readerHist := harness.NewHistogram()
+		var readerReads atomic.Uint64
+		stopReader := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reader := dep.TCs[tcs]
+			g := s.kv(1).NewGen(99)
+			for {
+				select {
+				case <-stopReader:
+					return
+				default:
+				}
+				key := fmt.Sprintf("p%d/%s", int(readerReads.Load())%tcs, g.Key())
+				t0 := time.Now()
+				_ = reader.RunTxn(false, func(x *tc.Txn) error {
+					_, _, err := x.ReadCommitted("users", key)
+					return err
+				})
+				readerHist.Observe(time.Since(t0))
+				readerReads.Add(1)
+			}
+		}()
+		// Wait for the writers, then stop the reader.
+		done := make(chan struct{})
+		go func() {
+			for committed.Load() < uint64(tcs*s.TxnsPerW) {
+				time.Sleep(time.Millisecond)
+			}
+			close(done)
+		}()
+		<-done
+		close(stopReader)
+		wg.Wait()
+		el := time.Since(start)
+		res := harness.Result{Name: fmt.Sprintf("writers=%d", tcs),
+			Txns: committed.Load(), Elapsed: el, Latencies: harness.NewHistogram()}
+		res.ExtraCols = []string{"disjoint update partitions, no 2PC"}
+		t.Add(res)
+		readerRes := harness.Result{Name: fmt.Sprintf("reader-with-%d-writers", tcs),
+			Txns: readerReads.Load(), Elapsed: el, Latencies: readerHist}
+		readerRes.ExtraCols = []string{"read-committed, lock-free, never blocked"}
+		t.Add(readerRes)
+		dep.Close()
+	}
+	return t
+}
+
+// F2 reproduces Figure 2 and §6.3: the movie site. Users and their
+// updates (W2, W3, W4) are partitioned across two updating TCs; movie
+// review reads (W1) run on a separate reader TC with read-committed
+// access; Movies/Reviews partition by MId over two DCs, Users/MyReviews
+// by UId over a third. Updating transactions are completely local to one
+// TC — no distributed transactions — and no query touches more than two
+// DCs.
+func F2(s Scale) *harness.Table {
+	p := workload.MoviePlacement{MovieDCs: 2, UserDCs: 1,
+		Movies: s.Keys / 10, Users: s.Keys / 4}
+	const updateTCs = 2
+	dep, err := core.New(core.Options{
+		TCs: updateTCs + 1, DCs: p.MovieDCs + p.UserDCs,
+		Tables: workload.MovieTables(),
+		Route:  p.Route,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer dep.Close()
+	reader := dep.TCs[updateTCs]
+
+	// Seed movies and users (admin TC 0 owns the bulk load).
+	must(dep.TCs[0].RunTxn(false, func(x *tc.Txn) error {
+		for m := 0; m < p.Movies; m++ {
+			if err := x.Upsert(workload.TableMovies, workload.MovieKey(m),
+				[]byte(fmt.Sprintf("movie-%d", m))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	for u := 0; u < p.Users; u++ {
+		owner := dep.TCs[p.OwnerTC(u, updateTCs)]
+		must(owner.RunTxn(true, func(x *tc.Txn) error {
+			return x.Upsert(workload.TableUsers, workload.UserKey(u),
+				[]byte(fmt.Sprintf("profile-%d", u)))
+		}))
+	}
+
+	t := harness.NewTable("dcsTouched", "protocol")
+
+	// W2: add a movie review — the user's TC inserts into Reviews (movie
+	// DC) and MyReviews (user DC) in ONE local transaction.
+	gens := make([]*workload.Gen, s.Workers)
+	for i := range gens {
+		gens[i] = s.kv(0).NewGen(200 + i)
+	}
+	w2 := harness.Run("W2 add review", s.Workers, s.TxnsPerW/2, func(w, i int) error {
+		g := gens[w]
+		u := g.Rand().Intn(p.Users)
+		m := g.Rand().Intn(p.Movies)
+		owner := dep.TCs[p.OwnerTC(u, updateTCs)]
+		review := []byte(fmt.Sprintf("review of %d by %d (#%d)", m, u, i))
+		return owner.RunTxn(true, func(x *tc.Txn) error {
+			if err := x.Upsert(workload.TableReviews, workload.ReviewKey(m, u), review); err != nil {
+				return err
+			}
+			return x.Upsert(workload.TableMyReviews, workload.MyReviewKey(u, m), review)
+		})
+	})
+	w2.ExtraCols = []string{"2", "local txn at owner TC (no 2PC)"}
+	t.Add(w2)
+
+	// W3: update profile information for a user — single DC, single TC.
+	w3 := harness.Run("W3 update profile", s.Workers, s.TxnsPerW/2, func(w, i int) error {
+		g := gens[w]
+		u := g.Rand().Intn(p.Users)
+		owner := dep.TCs[p.OwnerTC(u, updateTCs)]
+		return owner.RunTxn(true, func(x *tc.Txn) error {
+			return x.Upsert(workload.TableUsers, workload.UserKey(u),
+				[]byte(fmt.Sprintf("profile-%d-v%d", u, i)))
+		})
+	})
+	w3.ExtraCols = []string{"1", "local txn at owner TC"}
+	t.Add(w3)
+
+	// W1: obtain all reviews for a particular movie — the reader TC scans
+	// the Reviews clustering with read-committed access: clustered, one
+	// DC, never blocked by the updating TCs.
+	w1 := harness.Run("W1 reviews of movie", s.Workers, s.TxnsPerW/2, func(w, i int) error {
+		g := gens[w]
+		m := g.Rand().Intn(p.Movies)
+		prefix := workload.MovieKey(m) + "/"
+		return reader.RunTxn(false, func(x *tc.Txn) error {
+			_, _, err := x.ScanCommitted(workload.TableReviews, prefix, prefix+"~", 0)
+			return err
+		})
+	})
+	w1.ExtraCols = []string{"1", "read-committed scan at reader TC"}
+	t.Add(w1)
+
+	// W4: obtain all reviews written by a particular user — the owner TC
+	// scans its own MyReviews partition with full locking.
+	w4 := harness.Run("W4 reviews by user", s.Workers, s.TxnsPerW/2, func(w, i int) error {
+		g := gens[w]
+		u := g.Rand().Intn(p.Users)
+		owner := dep.TCs[p.OwnerTC(u, updateTCs)]
+		prefix := workload.UserKey(u) + "/"
+		return owner.RunTxn(false, func(x *tc.Txn) error {
+			_, _, err := x.Scan(workload.TableMyReviews, prefix, prefix+"~", 0)
+			return err
+		})
+	})
+	w4.ExtraCols = []string{"1", "locked scan of own partition"}
+	t.Add(w4)
+	return t
+}
+
+// F1 deploys the Figure-1 architecture: two applications on separate TCs
+// over four heterogeneous DCs (two record stores, an inverted-index DC,
+// and a geo-prefix DC) and reports aggregate throughput per DC kind.
+func F1(s Scale) *harness.Table {
+	tables := []string{"photos", "accounts", "textidx", "shapes"}
+	routeTable := map[string]int{"photos": 0, "accounts": 1, "textidx": 2, "shapes": 3}
+	dep, err := core.New(core.Options{TCs: 2, DCs: 4, Tables: tables,
+		Route: func(table, _ string) int { return routeTable[table] }})
+	if err != nil {
+		panic(err)
+	}
+	defer dep.Close()
+	t := harness.NewTable("dcKind")
+	app1 := harness.Run("app1 photo+index", s.Workers, s.TxnsPerW/2, func(w, i int) error {
+		id := fmt.Sprintf("p%d-%d", w, i)
+		return dep.TCs[0].RunTxn(false, func(x *tc.Txn) error {
+			if err := x.Upsert("photos", "a1/"+id, []byte("blob")); err != nil {
+				return err
+			}
+			if err := x.Upsert("textidx", "a1/word"+id+"#"+id, nil); err != nil {
+				return err
+			}
+			return x.Upsert("shapes", "a1/9q8yy"+id+"#"+id, nil)
+		})
+	})
+	app1.ExtraCols = []string{"record+inverted+geo"}
+	t.Add(app1)
+	app2 := harness.Run("app2 accounts", s.Workers, s.TxnsPerW/2, func(w, i int) error {
+		return dep.TCs[1].RunTxn(false, func(x *tc.Txn) error {
+			return x.Upsert("accounts", fmt.Sprintf("a2/u%d-%d", w, i), []byte("acct"))
+		})
+	})
+	app2.ExtraCols = []string{"record"}
+	t.Add(app2)
+	for i, dci := range dep.DCs {
+		t.AddRow(fmt.Sprintf("dc%d ops", i), fmt.Sprintf("%d", dci.Stats().Performs),
+			"", "", "", "", "", tables[i])
+	}
+	return t
+}

@@ -1,0 +1,207 @@
+// Package harness runs experiments and reports the tables in
+// EXPERIMENTS.md: fixed-seed workload drivers, wall-clock throughput,
+// latency percentiles, and aligned table printing.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Result summarizes one measured configuration.
+type Result struct {
+	Name      string
+	Txns      uint64
+	Errors    uint64
+	Elapsed   time.Duration
+	Latencies *Histogram
+	ExtraCols []string // appended verbatim to table rows
+}
+
+// Throughput returns committed transactions per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Txns) / r.Elapsed.Seconds()
+}
+
+// Run drives fn concurrently from `workers` goroutines until each has
+// executed perWorker transactions; fn receives (worker, iteration) and
+// reports success. Latency is recorded per transaction.
+func Run(name string, workers, perWorker int, fn func(worker, i int) error) Result {
+	var txns, errs atomic.Uint64
+	h := NewHistogram()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				t0 := time.Now()
+				if err := fn(w, i); err != nil {
+					errs.Add(1)
+					continue
+				}
+				h.Observe(time.Since(t0))
+				txns.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return Result{Name: name, Txns: txns.Load(), Errors: errs.Load(),
+		Elapsed: time.Since(start), Latencies: h}
+}
+
+// Histogram is a fixed-bucket latency histogram (1µs..~17s, 2x buckets).
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [25]uint64
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	b := 0
+	for v := d / time.Microsecond; v > 1 && b < len(h.buckets)-1; v >>= 1 {
+		b++
+	}
+	h.mu.Lock()
+	h.buckets[b]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Quantile returns an upper bound on the q-quantile latency.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	var cum uint64
+	for b, n := range h.buckets {
+		cum += n
+		if cum > target {
+			return time.Duration(1<<uint(b)) * time.Microsecond
+		}
+	}
+	return h.max
+}
+
+// Mean returns the average latency.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Table prints results as an aligned table with the standard columns plus
+// any extra column headers supplied.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable builds a table with the standard columns plus extras.
+func NewTable(extra ...string) *Table {
+	h := append([]string{"config", "txns", "errors", "tps", "mean", "p50", "p99"}, extra...)
+	return &Table{header: h}
+}
+
+// Add appends a result row.
+func (t *Table) Add(r Result) {
+	row := []string{
+		r.Name,
+		fmt.Sprintf("%d", r.Txns),
+		fmt.Sprintf("%d", r.Errors),
+		fmt.Sprintf("%.0f", r.Throughput()),
+		fmtDur(r.Latencies.Mean()),
+		fmtDur(r.Latencies.Quantile(0.50)),
+		fmtDur(r.Latencies.Quantile(0.99)),
+	}
+	row = append(row, r.ExtraCols...)
+	t.rows = append(t.rows, row)
+}
+
+// AddRow appends a raw row (for non-throughput tables).
+func (t *Table) AddRow(cols ...string) { t.rows = append(t.rows, cols) }
+
+// Fprint writes the aligned table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) string {
+		var sb strings.Builder
+		for i, c := range cols {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	fmt.Fprintln(w, line(t.header))
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, line(sep))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// SortResults orders results by name (stable output for docs).
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+}

@@ -1,0 +1,424 @@
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/cidr09/unbundled/internal/base"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		req, held Mode
+		want      bool
+	}{
+		{S, S, true}, {S, U, true}, {S, X, false},
+		{U, S, true}, {U, U, false}, {U, X, false},
+		{X, S, false}, {X, U, false}, {X, X, false},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.req, c.held); got != c.want {
+			t.Errorf("Compatible(%v,%v) = %v want %v", c.req, c.held, got, c.want)
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	if !X.Covers(S) || !X.Covers(U) || !X.Covers(X) {
+		t.Fatal("X must cover everything")
+	}
+	if !U.Covers(S) || U.Covers(X) {
+		t.Fatal("U covers S only (besides itself)")
+	}
+	if S.Covers(X) || S.Covers(U) {
+		t.Fatal("S covers nothing stronger")
+	}
+}
+
+func TestSharedThenExclusiveBlocks(t *testing.T) {
+	m := New()
+	r := KeyRes("t", "k")
+	if err := m.Lock(1, r, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, r, S); err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan struct{})
+	go func() {
+		if err := m.Lock(3, r, X); err != nil {
+			t.Error(err)
+		}
+		close(granted)
+	}()
+	select {
+	case <-granted:
+		t.Fatal("X granted alongside S holders")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Release(1, r)
+	select {
+	case <-granted:
+		t.Fatal("X granted with one S holder left")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Release(2, r)
+	select {
+	case <-granted:
+	case <-time.After(time.Second):
+		t.Fatal("X never granted")
+	}
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	m := New()
+	r := KeyRes("t", "k")
+	for i := 0; i < 3; i++ {
+		if err := m.Lock(1, r, X); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Lock(1, r, S); err != nil {
+		t.Fatal("X must cover S re-request")
+	}
+	m.ReleaseAll(1)
+	if err := m.Lock(2, r, X); err != nil {
+		t.Fatal("release-all did not free the lock")
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	m := New()
+	r := KeyRes("t", "k")
+	if err := m.Lock(1, r, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, r, S); err != nil {
+		t.Fatal(err)
+	}
+	upgraded := make(chan error, 1)
+	go func() { upgraded <- m.Lock(1, r, X) }()
+	select {
+	case err := <-upgraded:
+		t.Fatalf("upgrade granted while other S holder present: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Release(2, r)
+	if err := <-upgraded; err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Held(1)[r]; got != X {
+		t.Fatalf("held mode = %v", got)
+	}
+}
+
+func TestUpgradeJumpsQueue(t *testing.T) {
+	m := New()
+	r := KeyRes("t", "k")
+	m.Lock(1, r, S)
+	// Txn 2 queues for X behind txn 1's S.
+	got2 := make(chan error, 1)
+	go func() { got2 <- m.Lock(2, r, X) }()
+	time.Sleep(10 * time.Millisecond)
+	// Txn 1 upgrades: must jump ahead of txn 2 (and be granted since it is
+	// the only holder).
+	if err := m.Lock(1, r, X); err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	m.ReleaseAll(1)
+	if err := <-got2; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := New()
+	ra, rb := KeyRes("t", "a"), KeyRes("t", "b")
+	m.Lock(1, ra, X)
+	m.Lock(2, rb, X)
+	errs := make(chan error, 2)
+	go func() { errs <- m.Lock(1, rb, X) }()
+	time.Sleep(20 * time.Millisecond)
+	go func() { errs <- m.Lock(2, ra, X) }()
+	err := <-errs
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+	// The victim aborts: releasing its locks unblocks the survivor.
+	m.ReleaseAll(2)
+	if err := <-errs; err != nil {
+		t.Fatalf("survivor got %v", err)
+	}
+	m.ReleaseAll(1)
+	if m.Stats().Deadlocks != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestThreeWayDeadlock(t *testing.T) {
+	m := New()
+	r := func(k string) Resource { return KeyRes("t", k) }
+	m.Lock(1, r("a"), X)
+	m.Lock(2, r("b"), X)
+	m.Lock(3, r("c"), X)
+	errs := make(chan error, 3)
+	go func() { errs <- m.Lock(1, r("b"), X) }()
+	time.Sleep(10 * time.Millisecond)
+	go func() { errs <- m.Lock(2, r("c"), X) }()
+	time.Sleep(10 * time.Millisecond)
+	go func() { errs <- m.Lock(3, r("a"), X) }()
+	err := <-errs
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+	m.ReleaseAll(3) // victim was 3 (it closed the cycle)
+	if e := <-errs; e != nil {
+		t.Fatalf("unexpected: %v", e)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	m := New()
+	m.Timeout = 30 * time.Millisecond
+	r := KeyRes("t", "k")
+	m.Lock(1, r, X)
+	start := time.Now()
+	err := m.Lock(2, r, X)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("returned too early")
+	}
+	// After the timeout the queue entry is gone; release and re-acquire.
+	m.ReleaseAll(1)
+	if err := m.Lock(2, r, X); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOFairnessNoStarvation(t *testing.T) {
+	m := New()
+	r := KeyRes("t", "k")
+	m.Lock(1, r, S)
+	// Writer queues.
+	wGot := make(chan struct{})
+	go func() {
+		m.Lock(2, r, X)
+		close(wGot)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	// A later reader must NOT jump ahead of the queued writer.
+	rGot := make(chan struct{})
+	go func() {
+		m.Lock(3, r, S)
+		close(rGot)
+	}()
+	select {
+	case <-rGot:
+		t.Fatal("reader starved the queued writer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Release(1, r)
+	<-wGot
+	m.Release(2, r)
+	<-rGot
+}
+
+// Mutual exclusion property under concurrent stress: at most one X holder
+// or any number of S holders, never both.
+func TestStressMutualExclusion(t *testing.T) {
+	m := New()
+	res := KeyRes("t", "hot")
+	var readers, writers atomic.Int32
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(id)))
+			for i := 0; i < 300; i++ {
+				txn := base.TxnID(id*1000 + i + 1)
+				if rnd.Intn(2) == 0 {
+					if err := m.Lock(txn, res, S); err != nil {
+						continue
+					}
+					readers.Add(1)
+					if writers.Load() > 0 {
+						violations.Add(1)
+					}
+					readers.Add(-1)
+				} else {
+					if err := m.Lock(txn, res, X); err != nil {
+						continue
+					}
+					writers.Add(1)
+					if writers.Load() > 1 || readers.Load() > 0 {
+						violations.Add(1)
+					}
+					writers.Add(-1)
+				}
+				m.ReleaseAll(txn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v := violations.Load(); v > 0 {
+		t.Fatalf("%d mutual-exclusion violations", v)
+	}
+}
+
+func TestRandomStressNoLostWakeups(t *testing.T) {
+	m := New()
+	m.Timeout = 2 * time.Second
+	keys := []string{"a", "b", "c", "d", "e"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(id) * 77))
+			for i := 0; i < 200; i++ {
+				txn := base.TxnID(id*10000 + i + 1)
+				n := 1 + rnd.Intn(3)
+				ok := true
+				for j := 0; j < n; j++ {
+					res := KeyRes("t", keys[rnd.Intn(len(keys))])
+					mode := []Mode{S, U, X}[rnd.Intn(3)]
+					if err := m.Lock(txn, res, mode); err != nil {
+						ok = false
+						break
+					}
+				}
+				_ = ok
+				m.ReleaseAll(txn)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress test hung: lost wakeup or undetected deadlock")
+	}
+}
+
+func TestPartitionLocate(t *testing.T) {
+	p := NewPartition([]string{"g", "n", "t"})
+	if p.Buckets() != 4 {
+		t.Fatalf("buckets = %d", p.Buckets())
+	}
+	cases := map[string]int32{"a": 0, "f": 0, "g": 1, "m": 1, "n": 2, "s": 2, "t": 3, "z": 3}
+	for k, want := range cases {
+		if got := p.Locate(k); got != want {
+			t.Errorf("Locate(%q) = %d want %d", k, got, want)
+		}
+	}
+}
+
+func TestPartitionOverlapping(t *testing.T) {
+	p := NewPartition([]string{"g", "n", "t"})
+	cases := []struct {
+		lo, hi string
+		want   []int32
+	}{
+		{"a", "f", []int32{0}},
+		{"a", "g", []int32{0}}, // hi == bound: bucket 1 untouched
+		{"a", "h", []int32{0, 1}},
+		{"g", "t", []int32{1, 2}},
+		{"g", "z", []int32{1, 2, 3}},
+		{"a", "", []int32{0, 1, 2, 3}},
+		{"u", "", []int32{3}},
+	}
+	for _, c := range cases {
+		got := p.Overlapping(c.lo, c.hi)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("Overlapping(%q,%q) = %v want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// Property: Overlapping(lo,hi) == exactly the set of buckets of keys in
+// [lo,hi), computed by brute force over a sample key space.
+func TestQuickPartitionOverlapMatchesBruteForce(t *testing.T) {
+	f := func(rawBounds []byte, a, b byte) bool {
+		var bounds []string
+		for _, x := range rawBounds {
+			bounds = append(bounds, string([]byte{x}))
+		}
+		p := NewPartition(bounds)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo == hi {
+			return true
+		}
+		want := map[int32]bool{}
+		for k := int(lo); k < int(hi); k++ {
+			want[p.Locate(string([]byte{byte(k)}))] = true
+		}
+		got := p.Overlapping(string([]byte{lo}), string([]byte{hi}))
+		if len(got) < len(want) {
+			return false // must cover every touched bucket
+		}
+		gotSet := map[int32]bool{}
+		for _, g := range got {
+			gotSet[g] = true
+		}
+		for w := range want {
+			if !gotSet[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformBytePartition(t *testing.T) {
+	p := UniformBytePartition(16)
+	if p.Buckets() != 16 {
+		t.Fatalf("buckets = %d", p.Buckets())
+	}
+	if UniformBytePartition(1).Buckets() != 1 {
+		t.Fatal("n=1 must mean a single bucket")
+	}
+}
+
+func BenchmarkUncontendedLock(b *testing.B) {
+	m := New()
+	res := KeyRes("t", "k")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		txn := base.TxnID(i + 1)
+		m.Lock(txn, res, X)
+		m.ReleaseAll(txn)
+	}
+}
+
+func BenchmarkLockPerKey(b *testing.B) {
+	m := New()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			txn := base.TxnID(rand.Int63() + 1)
+			res := KeyRes("t", fmt.Sprintf("k%d", i%1024))
+			if m.Lock(txn, res, S) == nil {
+				m.ReleaseAll(txn)
+			}
+		}
+	})
+}

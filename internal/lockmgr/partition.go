@@ -1,0 +1,85 @@
+package lockmgr
+
+import "sort"
+
+// Partition is a static partitioning of a table's key space into contiguous
+// range buckets, the "Range locks" protocol of §3.1: "Introduce explicit
+// range locks that partition the keys of any table. … Each range of the
+// partition is locked prior to accessing the requested records."
+//
+// A partition with bounds b1 < b2 < … < bn defines n+1 buckets:
+//
+//	bucket 0: keys < b1
+//	bucket i: bi <= keys < b(i+1)
+//	bucket n: keys >= bn
+type Partition struct {
+	bounds []string
+}
+
+// NewPartition builds a partition from split points (sorted and
+// de-duplicated internally).
+func NewPartition(bounds []string) Partition {
+	b := append([]string(nil), bounds...)
+	sort.Strings(b)
+	out := b[:0]
+	for i, s := range b {
+		if i == 0 || s != b[i-1] {
+			out = append(out, s)
+		}
+	}
+	return Partition{bounds: out}
+}
+
+// UniformBytePartition builds a partition splitting on the first byte into
+// n roughly equal buckets over the full byte range.
+func UniformBytePartition(n int) Partition {
+	if n <= 1 {
+		return Partition{}
+	}
+	bounds := make([]string, 0, n-1)
+	for i := 1; i < n; i++ {
+		bounds = append(bounds, string([]byte{byte(i * 256 / n)}))
+	}
+	return NewPartition(bounds)
+}
+
+// Buckets returns the number of buckets.
+func (p Partition) Buckets() int { return len(p.bounds) + 1 }
+
+// Locate returns the bucket containing key.
+func (p Partition) Locate(key string) int32 {
+	// Number of bounds <= key.
+	i := sort.SearchStrings(p.bounds, key)
+	if i < len(p.bounds) && p.bounds[i] == key {
+		i++
+	}
+	return int32(i)
+}
+
+// Overlapping returns the bucket indexes intersecting [lo, hi); hi == ""
+// means unbounded above.
+func (p Partition) Overlapping(lo, hi string) []int32 {
+	from := p.Locate(lo)
+	to := int32(len(p.bounds)) // last bucket
+	if hi != "" {
+		// hi is exclusive: the bucket containing hi is included only if
+		// the interval reaches into it, i.e. some key < hi lies in it.
+		to = p.Locate(hi)
+		if to > from {
+			// If hi is exactly a bound, bucket `to` starts at hi and the
+			// exclusive interval does not reach it.
+			j := sort.SearchStrings(p.bounds, hi)
+			if j < len(p.bounds) && p.bounds[j] == hi {
+				to--
+			}
+		}
+	}
+	if to < from { // empty interval
+		return nil
+	}
+	out := make([]int32, 0, to-from+1)
+	for b := from; b <= to; b++ {
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,498 @@
+// Package page implements the DC's slotted pages. A page carries:
+//
+//   - per-TC abstract LSNs (ablsn.Table) recording which TC operations are
+//     reflected in the page state (§5.1.2, §6.1.1);
+//   - a dLSN recording which DC system transactions (structure
+//     modifications) are reflected (§5.2.2) — the monolithic baseline
+//     reuses this field as the classic page LSN;
+//   - records tagged with their owning TC (§6.1.2 uses this to reset a
+//     failed TC's records without disturbing other TCs), optionally
+//     holding a before version for read-committed sharing (§6.2.2).
+//
+// How records map to pages is known only to the DC and never revealed to
+// the TC (§4.1.2).
+package page
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/cidr09/unbundled/internal/ablsn"
+	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/latch"
+)
+
+// Record flags.
+const (
+	// FlagHasBefore marks an uncommitted later version with a retained
+	// before version (§6.2.2).
+	FlagHasBefore uint8 = 1 << iota
+	// FlagBeforeNull marks the before version as "null" (versioned insert:
+	// a before null version followed by the intended insert).
+	FlagBeforeNull
+	// FlagTombstone marks the latest version as a deletion.
+	FlagTombstone
+)
+
+// Record is one record slot. Value is the latest version; Before the
+// retained committed version when FlagHasBefore is set.
+type Record struct {
+	Key    string
+	Owner  base.TCID
+	Flags  uint8
+	Value  []byte
+	Before []byte
+}
+
+// HasBefore reports whether an uncommitted later version exists.
+func (r *Record) HasBefore() bool { return r.Flags&FlagHasBefore != 0 }
+
+// BeforeNull reports whether the before version is the null version.
+func (r *Record) BeforeNull() bool { return r.Flags&FlagBeforeNull != 0 }
+
+// Tombstone reports whether the latest version is a deletion marker.
+func (r *Record) Tombstone() bool { return r.Flags&FlagTombstone != 0 }
+
+// ReadVersion returns the value visible under flavor and whether a value
+// is visible at all.
+func (r *Record) ReadVersion(flavor base.ReadFlavor) (val []byte, visible bool) {
+	switch flavor {
+	case base.ReadCommitted:
+		if r.HasBefore() {
+			if r.BeforeNull() {
+				return nil, false
+			}
+			return r.Before, true
+		}
+		if r.Tombstone() {
+			return nil, false
+		}
+		return r.Value, true
+	default: // plain and dirty both see the latest version
+		if r.Tombstone() {
+			return nil, false
+		}
+		return r.Value, true
+	}
+}
+
+// CommitVersion finalizes the uncommitted version (§6.2.2): the before
+// version is eliminated, making the later version the committed one.
+// It reports whether the record should be removed from the page (a
+// committed tombstone).
+func (r *Record) CommitVersion() (remove bool) {
+	if !r.HasBefore() {
+		// Already finalized (idempotent replays are filtered by abstract
+		// LSNs; this is for robustness).
+		return r.Tombstone()
+	}
+	if r.Tombstone() {
+		return true
+	}
+	r.Flags &^= FlagHasBefore | FlagBeforeNull
+	r.Before = nil
+	return false
+}
+
+// AbortVersion rolls back the uncommitted version: the latest version is
+// removed and the before version restored. It reports whether the record
+// should be removed (versioned insert rolled back).
+func (r *Record) AbortVersion() (remove bool) {
+	if !r.HasBefore() {
+		return false
+	}
+	if r.BeforeNull() {
+		return true
+	}
+	r.Value = r.Before
+	r.Before = nil
+	r.Flags &^= FlagHasBefore | FlagBeforeNull | FlagTombstone
+	return false
+}
+
+// size returns the serialized footprint of the record.
+func (r *Record) size() int {
+	return 8 + len(r.Key) + len(r.Value) + len(r.Before)
+}
+
+// Page is one DC page: either a leaf holding records or a branch holding
+// separator keys and children. The latch makes individual logical
+// operations atomic under DC multi-threading (§4.1.2(1)).
+//
+// Volatile bookkeeping fields (Dirty, FirstDirty, RecDLSN) are maintained
+// by the buffer pool and never serialized.
+type Page struct {
+	L latch.Latch
+
+	ID   base.PageID
+	Leaf bool
+	// DLSN is the DC system-transaction stamp (§5.2.2); the monolith uses
+	// it as the traditional page LSN.
+	DLSN base.DLSN
+	// Next links leaves left-to-right for range scans.
+	Next base.PageID
+	// Ab holds the per-TC abstract LSNs (§5.1.2, §6.1.1).
+	Ab ablsn.Table
+
+	// Leaf payload, sorted by Key.
+	Recs []Record
+
+	// Branch payload: Keys separate Children; len(Children) == len(Keys)+1.
+	// Child i holds keys < Keys[i]; the last child holds the rest.
+	Keys     []string
+	Children []base.PageID
+
+	// Dirty is set while the cached page differs from its stable version.
+	Dirty bool
+	// FirstDirty records, per TC, the first operation LSN applied since
+	// the page was last made stable; the checkpoint protocol flushes pages
+	// whose FirstDirty lies below the proposed redo scan start point.
+	FirstDirty map[base.TCID]base.LSN
+	// RecDLSN is the earliest DC-log record that dirtied this page since
+	// the last flush; the buffer pool forces the DC-log this far before
+	// writing the page (write-ahead logging for system transactions).
+	RecDLSN base.DLSN
+}
+
+// NewLeaf returns an empty leaf page.
+func NewLeaf(id base.PageID) *Page { return &Page{ID: id, Leaf: true} }
+
+// NewBranch returns a branch page over the given children.
+func NewBranch(id base.PageID, keys []string, children []base.PageID) *Page {
+	return &Page{ID: id, Keys: keys, Children: children}
+}
+
+// find returns the index of key and whether it is present.
+func (p *Page) find(key string) (int, bool) {
+	i := sort.Search(len(p.Recs), func(i int) bool { return p.Recs[i].Key >= key })
+	return i, i < len(p.Recs) && p.Recs[i].Key == key
+}
+
+// Get returns the record for key, or nil.
+func (p *Page) Get(key string) *Record {
+	if i, ok := p.find(key); ok {
+		return &p.Recs[i]
+	}
+	return nil
+}
+
+// Put inserts or replaces the record, keeping sort order.
+func (p *Page) Put(rec Record) {
+	i, ok := p.find(rec.Key)
+	if ok {
+		p.Recs[i] = rec
+		return
+	}
+	p.Recs = append(p.Recs, Record{})
+	copy(p.Recs[i+1:], p.Recs[i:])
+	p.Recs[i] = rec
+}
+
+// Remove deletes the record for key; it reports whether it was present.
+func (p *Page) Remove(key string) bool {
+	i, ok := p.find(key)
+	if !ok {
+		return false
+	}
+	p.Recs = append(p.Recs[:i], p.Recs[i+1:]...)
+	return true
+}
+
+// Ascend calls fn for records with from <= Key < to (to == "" means
+// unbounded) in key order; fn returns false to stop. It reports whether
+// iteration was stopped early.
+func (p *Page) Ascend(from, to string, fn func(*Record) bool) bool {
+	i := sort.Search(len(p.Recs), func(i int) bool { return p.Recs[i].Key >= from })
+	for ; i < len(p.Recs); i++ {
+		if to != "" && p.Recs[i].Key >= to {
+			return false
+		}
+		if !fn(&p.Recs[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// ChildFor returns the child page that covers key (branch pages).
+func (p *Page) ChildFor(key string) base.PageID {
+	i := sort.Search(len(p.Keys), func(i int) bool { return key < p.Keys[i] })
+	return p.Children[i]
+}
+
+// ChildIndex returns the slot of child id, or -1.
+func (p *Page) ChildIndex(id base.PageID) int {
+	for i, c := range p.Children {
+		if c == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// InsertSep inserts separator key with newChild to the right of child at
+// index idx (branch pages; used by splits).
+func (p *Page) InsertSep(idx int, key string, newChild base.PageID) {
+	p.Keys = append(p.Keys, "")
+	copy(p.Keys[idx+1:], p.Keys[idx:])
+	p.Keys[idx] = key
+	p.Children = append(p.Children, 0)
+	copy(p.Children[idx+2:], p.Children[idx+1:])
+	p.Children[idx+1] = newChild
+}
+
+// RemoveSep removes the separator at index i and the child to its right
+// (used by consolidation).
+func (p *Page) RemoveSep(i int) {
+	p.Keys = append(p.Keys[:i], p.Keys[i+1:]...)
+	p.Children = append(p.Children[:i+1], p.Children[i+2:]...)
+}
+
+// Size estimates the serialized size in bytes (split/consolidate
+// decisions).
+func (p *Page) Size() int {
+	n := 32 + p.Ab.EncodedSize()
+	if p.Leaf {
+		for i := range p.Recs {
+			n += p.Recs[i].size()
+		}
+		return n
+	}
+	for _, k := range p.Keys {
+		n += len(k) + 6
+	}
+	n += 5 * len(p.Children)
+	return n
+}
+
+// SplitLeaf moves the upper half of the records onto right and returns the
+// split key (the smallest key that moved). The right page inherits a copy
+// of the full abstract-LSN table: an abLSN claim is only ever tested for
+// keys that route to the page, so over-claiming for keys that stayed left
+// is harmless and preserves idempotence for the moved records (§5.2.2).
+func (p *Page) SplitLeaf(right *Page) (splitKey string) {
+	mid := len(p.Recs) / 2
+	splitKey = p.Recs[mid].Key
+	right.Recs = append(right.Recs[:0], p.Recs[mid:]...)
+	p.Recs = p.Recs[:mid:mid] // clip capacity so right's records stay unaliased
+	right.Ab = *p.Ab.Clone()
+	right.Next = p.Next
+	p.Next = right.ID
+	return splitKey
+}
+
+// SplitBranch moves the upper half of separators/children onto right and
+// returns the key to push up into the parent.
+func (p *Page) SplitBranch(right *Page) (pushKey string) {
+	mid := len(p.Keys) / 2
+	pushKey = p.Keys[mid]
+	right.Keys = append(right.Keys[:0], p.Keys[mid+1:]...)
+	right.Children = append(right.Children[:0], p.Children[mid+1:]...)
+	p.Keys = p.Keys[:mid:mid]
+	p.Children = p.Children[: mid+1 : mid+1]
+	return pushKey
+}
+
+// AbsorbLeaf merges right's records into p (consolidation, §5.2.2): p
+// inherits right's key range, sibling link, and the per-TC maximum of the
+// two abstract-LSN tables.
+func (p *Page) AbsorbLeaf(right *Page) {
+	p.Recs = append(p.Recs, right.Recs...)
+	p.Next = right.Next
+	p.Ab.MergeMax(&right.Ab)
+	if right.DLSN > p.DLSN {
+		p.DLSN = right.DLSN
+	}
+}
+
+// Clone returns a deep copy of the page (no volatile bookkeeping, no latch
+// state).
+func (p *Page) Clone() *Page {
+	c := &Page{ID: p.ID, Leaf: p.Leaf, DLSN: p.DLSN, Next: p.Next, Ab: *p.Ab.Clone()}
+	if p.Leaf {
+		c.Recs = make([]Record, len(p.Recs))
+		copy(c.Recs, p.Recs)
+		for i := range c.Recs {
+			c.Recs[i].Value = append([]byte(nil), p.Recs[i].Value...)
+			if p.Recs[i].Before != nil {
+				c.Recs[i].Before = append([]byte(nil), p.Recs[i].Before...)
+			} else {
+				c.Recs[i].Before = nil
+			}
+			if len(c.Recs[i].Value) == 0 {
+				c.Recs[i].Value = nil
+			}
+		}
+		return c
+	}
+	c.Keys = append([]string(nil), p.Keys...)
+	c.Children = append([]base.PageID(nil), p.Children...)
+	return c
+}
+
+// Encode serializes the page (stable format: used both for disk writes and
+// for physical DC-log images).
+func (p *Page) Encode() []byte {
+	buf := make([]byte, 0, p.Size())
+	buf = binary.AppendUvarint(buf, uint64(p.ID))
+	if p.Leaf {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(p.DLSN))
+	buf = binary.AppendUvarint(buf, uint64(p.Next))
+	buf = p.Ab.Append(buf)
+	if p.Leaf {
+		buf = binary.AppendUvarint(buf, uint64(len(p.Recs)))
+		for i := range p.Recs {
+			r := &p.Recs[i]
+			buf = binary.AppendUvarint(buf, uint64(len(r.Key)))
+			buf = append(buf, r.Key...)
+			buf = binary.AppendUvarint(buf, uint64(r.Owner))
+			buf = append(buf, r.Flags)
+			buf = binary.AppendUvarint(buf, uint64(len(r.Value)))
+			buf = append(buf, r.Value...)
+			buf = binary.AppendUvarint(buf, uint64(len(r.Before)))
+			buf = append(buf, r.Before...)
+		}
+		return buf
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Keys)))
+	for _, k := range p.Keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Children)))
+	for _, c := range p.Children {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	return buf
+}
+
+// Decode parses a page previously produced by Encode.
+func Decode(data []byte) (*Page, error) {
+	d := decoder{buf: data}
+	p := &Page{}
+	p.ID = base.PageID(d.uvarint())
+	p.Leaf = d.byte() != 0
+	p.DLSN = base.DLSN(d.uvarint())
+	p.Next = base.PageID(d.uvarint())
+	if d.err == nil {
+		tab, rest, err := ablsn.DecodeTable(d.buf)
+		if err != nil {
+			return nil, err
+		}
+		p.Ab = *tab
+		d.buf = rest
+	}
+	if p.Leaf {
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.buf)) {
+			return nil, errCorrupt
+		}
+		if d.err == nil && n > 0 {
+			p.Recs = make([]Record, n)
+			for i := range p.Recs {
+				r := &p.Recs[i]
+				r.Key = d.str()
+				r.Owner = base.TCID(d.uvarint())
+				r.Flags = d.byte()
+				r.Value = d.bytes()
+				r.Before = d.bytes()
+			}
+		}
+	} else {
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.buf)) {
+			return nil, errCorrupt
+		}
+		if d.err == nil && n > 0 {
+			p.Keys = make([]string, n)
+			for i := range p.Keys {
+				p.Keys[i] = d.str()
+			}
+		}
+		n = d.uvarint()
+		if d.err == nil && n > uint64(len(d.buf))+1 {
+			return nil, errCorrupt
+		}
+		if d.err == nil && n > 0 {
+			p.Children = make([]base.PageID, n)
+			for i := range p.Children {
+				p.Children[i] = base.PageID(d.uvarint())
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return p, nil
+}
+
+var errCorrupt = fmt.Errorf("page: corrupt encoding")
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	u, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = errCorrupt
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return u
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.err = errCorrupt
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.buf)) {
+		d.err = errCorrupt
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.buf)) {
+		d.err = errCorrupt
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[:n])
+	d.buf = d.buf[n:]
+	return out
+}
+
+// Equal reports deep equality of page contents (test helper; ignores
+// volatile bookkeeping).
+func (p *Page) Equal(q *Page) bool {
+	return bytes.Equal(p.Encode(), q.Encode())
+}

@@ -1,0 +1,105 @@
+package tc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/cidr09/unbundled/internal/base"
+)
+
+// Op-record payload: the logical operation (LSN zeroed; the record's own
+// LSN is authoritative) plus the undo information captured before the send
+// (§4.1.1(3): "Undo logging in the TC will enable rollback … by providing
+// information TC can use to submit inverse logical operations").
+func encodeOpPayload(op *base.Op, prior []byte, priorFound bool) []byte {
+	saved := op.LSN
+	op.LSN = 0
+	buf := base.AppendOp(nil, op)
+	op.LSN = saved
+	buf = binary.AppendUvarint(buf, uint64(len(prior)))
+	buf = append(buf, prior...)
+	if priorFound {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func decodeOpPayload(payload []byte) (op *base.Op, prior []byte, priorFound bool, err error) {
+	op, rest, err := base.DecodeOp(payload)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	n, w := binary.Uvarint(rest)
+	if w <= 0 || n > uint64(len(rest)-w) {
+		return nil, nil, false, fmt.Errorf("tc: corrupt op payload")
+	}
+	rest = rest[w:]
+	if n > 0 {
+		prior = append([]byte(nil), rest[:n]...)
+	}
+	rest = rest[n:]
+	if len(rest) < 1 {
+		return nil, nil, false, fmt.Errorf("tc: corrupt op payload")
+	}
+	return op, prior, rest[0] != 0, nil
+}
+
+// Commit-record payload: the versioned write set, so restart can re-issue
+// commit-versions operations for winners whose finalize messages were lost
+// with the crashed TC (§6.2.2's guarantee that before versions are
+// eventually removed).
+func encodeCommit(keys []tableKey) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, tk := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(tk.table)))
+		buf = append(buf, tk.table...)
+		buf = binary.AppendUvarint(buf, uint64(len(tk.key)))
+		buf = append(buf, tk.key...)
+	}
+	return buf
+}
+
+func decodeCommit(payload []byte) ([]tableKey, error) {
+	n, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return nil, fmt.Errorf("tc: corrupt commit payload")
+	}
+	payload = payload[w:]
+	out := make([]tableKey, 0, n)
+	readStr := func() (string, bool) {
+		m, w := binary.Uvarint(payload)
+		if w <= 0 || m > uint64(len(payload)-w) {
+			return "", false
+		}
+		s := string(payload[w : w+int(m)])
+		payload = payload[w+int(m):]
+		return s, true
+	}
+	for i := uint64(0); i < n; i++ {
+		table, ok := readStr()
+		if !ok {
+			return nil, fmt.Errorf("tc: corrupt commit payload")
+		}
+		key, ok := readStr()
+		if !ok {
+			return nil, fmt.Errorf("tc: corrupt commit payload")
+		}
+		out = append(out, tableKey{table, key})
+	}
+	return out, nil
+}
+
+// Checkpoint-record payload: the redo scan start point.
+func encodeCheckpoint(rssp base.LSN) []byte {
+	return binary.AppendUvarint(nil, uint64(rssp))
+}
+
+func decodeCheckpoint(payload []byte) (base.LSN, error) {
+	u, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return 0, fmt.Errorf("tc: corrupt checkpoint payload")
+	}
+	return base.LSN(u), nil
+}

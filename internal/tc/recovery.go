@@ -1,0 +1,193 @@
+package tc
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/lockmgr"
+	"github.com/cidr09/unbundled/internal/wal"
+)
+
+// Crash simulates a TC process failure: the log buffer (unforced tail),
+// lock table, transaction table, and ack bookkeeping vanish. The stable
+// log survives. LSNs above the stable end will be reused by the restarted
+// incarnation — the DC-side reset protocol (§5.3.2) makes that safe.
+func (t *TC) Crash() {
+	t.mu.Lock()
+	t.down = true
+	t.txns = make(map[base.TxnID]*Txn)
+	t.mu.Unlock()
+	t.log.Crash()
+	t.locks = lockmgr.New()
+	t.locks.Timeout = t.cfg.LockTimeout
+	t.acks.Reset(0)
+}
+
+// Recover implements the TC side of the restart function (§4.2.1 restart,
+// §5.3.2 "TC Failure"):
+//
+//  1. Analysis over the stable log: find the redo scan start point, the
+//     loser transactions, and committed transactions with versioned
+//     writes to re-finalize.
+//  2. Tell every DC to discard effects of operations beyond the stable
+//     log (targeted page reset — only this TC's records are touched).
+//  3. Redo: resend every logged operation from the RSSP onward, in LSN
+//     order (repeating history at the logical level; DC idempotence
+//     filters what survived).
+//  4. Undo: send inverse operations for losers, in reverse chronological
+//     order, logged as compensation records.
+//  5. Re-issue commit-versions for winners, then allow normal processing.
+func (t *TC) Recover() error {
+	t.mu.Lock()
+	if !t.down {
+		t.mu.Unlock()
+		return errors.New("tc: recover called while running")
+	}
+	t.mu.Unlock()
+
+	stableEnd := t.log.EOSL()
+	records := t.log.Scan(0)
+
+	// --- analysis ---
+	rssp := base.LSN(1)
+	type loser struct{ lastLSN base.LSN }
+	losers := make(map[base.TxnID]*loser)
+	var winnersVersioned [][]tableKey
+	maxTxn := uint64(0)
+	for _, rec := range records {
+		if uint64(rec.Txn) > maxTxn {
+			maxTxn = uint64(rec.Txn)
+		}
+		switch rec.Kind {
+		case recCheckpoint:
+			if r, err := decodeCheckpoint(rec.Payload); err == nil && r > rssp {
+				rssp = r
+			}
+		case recOp, recCLR:
+			if rec.Txn != 0 {
+				l := losers[rec.Txn]
+				if l == nil {
+					l = &loser{}
+					losers[rec.Txn] = l
+				}
+				l.lastLSN = rec.LSN
+			}
+		case recCommit:
+			delete(losers, rec.Txn)
+			if keys, err := decodeCommit(rec.Payload); err == nil && len(keys) > 0 {
+				winnersVersioned = append(winnersVersioned, keys)
+			}
+		case recAbort:
+			delete(losers, rec.Txn)
+		}
+	}
+
+	t.mu.Lock()
+	t.rssp = rssp
+	t.nextTxn = maxTxn
+	t.mu.Unlock()
+
+	// --- DC reset (§5.3.2): drop cached effects beyond the stable log ---
+	for _, h := range t.dcs {
+		if err := h.svc.BeginRestart(t.cfg.ID, stableEnd); err != nil {
+			return fmt.Errorf("tc %d: begin restart: %w", t.cfg.ID, err)
+		}
+	}
+
+	// --- redo: repeat history by resending logical operations in order ---
+	for _, rec := range records {
+		if rec.LSN < rssp {
+			continue
+		}
+		if rec.Kind != recOp && rec.Kind != recCLR {
+			continue
+		}
+		op, _, _, err := decodeOpPayload(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("tc %d: redo decode @%d: %w", t.cfg.ID, rec.LSN, err)
+		}
+		op.LSN = rec.LSN
+		h := t.dcs[t.route(op.Table, op.Key)]
+		if res := h.svc.Perform(op); res.Code != base.CodeOK &&
+			res.Code != base.CodeDuplicate && res.Code != base.CodeNotFound {
+			return fmt.Errorf("tc %d: redo @%d failed: %v", t.cfg.ID, rec.LSN, res.Code)
+		}
+		t.redoOps.Add(1)
+	}
+
+	// Redo is complete: every allocated LSN at or below the stable end is
+	// accounted for (replayed or void), so the low-water mark restarts
+	// there; the DCs reset their own LWM state in BeginRestart.
+	t.acks.Reset(stableEnd)
+	t.mu.Lock()
+	t.down = false
+	t.mu.Unlock()
+
+	// --- undo losers with inverse operations (multi-level undo) ---
+	for txnID, l := range losers {
+		t.undoChain(txnID, l.lastLSN)
+		t.log.AppendAssign(&wal.Record{Kind: recAbort, Txn: txnID, Prev: l.lastLSN})
+	}
+
+	// --- re-finalize winners' versioned writes (§6.2.2: before versions
+	// are guaranteed to be eventually removed) ---
+	for _, keys := range winnersVersioned {
+		for _, tk := range keys {
+			op := &base.Op{TC: t.cfg.ID, Kind: base.OpCommitVersions,
+				Table: tk.table, Key: tk.key}
+			rec := &wal.Record{Kind: recOp, Payload: encodeOpPayload(op, nil, false)}
+			op.LSN = t.log.AppendAssign(rec)
+			t.perform(op)
+		}
+	}
+	t.log.Force()
+	t.broadcastWatermarks()
+
+	// --- contract: restart complete, normal processing resumes ---
+	for _, h := range t.dcs {
+		if err := h.svc.EndRestart(t.cfg.ID); err != nil {
+			return fmt.Errorf("tc %d: end restart: %w", t.cfg.ID, err)
+		}
+	}
+	return nil
+}
+
+// RecoverDC replays this TC's logged operations to one crashed-and-
+// recovered DC (§5.3.2 "DC Failure"): resend from the redo scan start
+// point; the DC re-applies whatever is missing from its stable state.
+// New operations to that DC wait until the redo stream completes so that
+// logical operations are never applied out of order; in-flight resends of
+// old operations are part of the redo stream and harmless.
+func (t *TC) RecoverDC(idx int) error {
+	if idx < 0 || idx >= len(t.dcs) {
+		return fmt.Errorf("tc %d: no DC %d", t.cfg.ID, idx)
+	}
+	h := t.dcs[idx]
+	h.setRecovering(true)
+	defer h.setRecovering(false)
+
+	t.mu.Lock()
+	rssp := t.rssp
+	t.mu.Unlock()
+	for _, rec := range t.log.Scan(rssp) {
+		if rec.Kind != recOp && rec.Kind != recCLR {
+			continue
+		}
+		op, _, _, err := decodeOpPayload(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("tc %d: dc-redo decode @%d: %w", t.cfg.ID, rec.LSN, err)
+		}
+		if t.route(op.Table, op.Key) != idx {
+			continue
+		}
+		op.LSN = rec.LSN
+		if res := h.svc.Perform(op); res.Code != base.CodeOK &&
+			res.Code != base.CodeDuplicate && res.Code != base.CodeNotFound {
+			return fmt.Errorf("tc %d: dc-redo @%d failed: %v", t.cfg.ID, rec.LSN, res.Code)
+		}
+		t.redoOps.Add(1)
+	}
+	t.broadcastWatermarks()
+	return nil
+}

@@ -1,0 +1,406 @@
+// Package tc implements the Transactional Component (§4.1.1): the purely
+// logical half of the unbundled kernel. It performs transactional locking
+// (never on pages — it has no idea pages exist), logical undo/redo logging
+// in OPSR order, log forcing for durability, operation resend bookkeeping,
+// checkpoint negotiation (redo-scan-start-point advancement), and restart.
+//
+// The TC acts as a client to one or more DCs through base.Service. Its log
+// sequence numbers double as unique operation request IDs (§4.2); reads
+// consume LSNs without log records. Strict two-phase locking acquired
+// *before* an operation is sent guarantees the DC never sees conflicting
+// operations concurrently, which in turn makes the TC-log's LSN order an
+// order-preserving serialization of the logical operation history.
+package tc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/lockmgr"
+	"github.com/cidr09/unbundled/internal/storage"
+	"github.com/cidr09/unbundled/internal/wal"
+)
+
+// TC-log record kinds.
+const (
+	recOp         uint8 = iota + 1 // forward logical operation (+ undo info)
+	recCLR                         // compensation: inverse logical operation
+	recCommit                      // transaction commit (+ versioned write set)
+	recAbort                       // transaction abort complete
+	recCheckpoint                  // redo scan start point advanced
+)
+
+// RangeProtocol selects the §3.1 range-locking strategy.
+type RangeProtocol uint8
+
+const (
+	// FetchAhead probes the DC for upcoming keys, locks them, reads, and
+	// re-probes if the read surfaces different keys (§3.1).
+	FetchAhead RangeProtocol = iota
+	// StaticRange locks buckets of a static partition of the key space;
+	// single-key operations lock their bucket too. Fewer locks, less
+	// concurrency (§3.1).
+	StaticRange
+)
+
+func (r RangeProtocol) String() string {
+	if r == StaticRange {
+		return "static-range"
+	}
+	return "fetch-ahead"
+}
+
+// Config shapes a TC.
+type Config struct {
+	// ID is this TC's identity; a DC tracks abstract LSNs per TC ID.
+	ID base.TCID
+	// LockTimeout bounds lock waits (0: wait forever, deadlock detection
+	// still applies).
+	LockTimeout time.Duration
+	// Protocol selects the range-locking strategy.
+	Protocol RangeProtocol
+	// RangeBuckets sizes the static partitions (default 16).
+	RangeBuckets int
+	// ProbeWidth is the fetch-ahead batch size (default 32).
+	ProbeWidth int
+	// WatermarkInterval is the period of the EOSL/LWM re-broadcast
+	// (default 1ms; also sent opportunistically after commits).
+	WatermarkInterval time.Duration
+	// ForceDelay simulates stable-log force latency (group commit).
+	ForceDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.RangeBuckets <= 0 {
+		c.RangeBuckets = 16
+	}
+	if c.ProbeWidth <= 0 {
+		c.ProbeWidth = 32
+	}
+	if c.WatermarkInterval <= 0 {
+		c.WatermarkInterval = time.Millisecond
+	}
+	return c
+}
+
+// Stats counts TC activity.
+type Stats struct {
+	Commits        uint64
+	Aborts         uint64
+	DeadlockAborts uint64
+	OpsSent        uint64
+	Probes         uint64
+	Checkpoints    uint64
+	RedoOps        uint64
+	UndoOps        uint64
+}
+
+// dcHandle wraps one DC connection with the recovery gate: while the DC is
+// being redone after its crash, new operations hold off (in-flight resends
+// of old operations are harmless — they are part of the redo stream).
+type dcHandle struct {
+	svc        base.Service
+	mu         sync.Mutex
+	cond       *sync.Cond
+	recovering bool
+}
+
+func newDCHandle(svc base.Service) *dcHandle {
+	h := &dcHandle{svc: svc}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *dcHandle) waitReady() {
+	h.mu.Lock()
+	for h.recovering {
+		h.cond.Wait()
+	}
+	h.mu.Unlock()
+}
+
+func (h *dcHandle) setRecovering(v bool) {
+	h.mu.Lock()
+	h.recovering = v
+	if !v {
+		h.cond.Broadcast()
+	}
+	h.mu.Unlock()
+}
+
+// TC is one transactional component instance.
+type TC struct {
+	cfg    Config
+	lmedia *storage.LogStore
+	log    *wal.Log
+	locks  *lockmgr.Manager
+	dcs    []*dcHandle
+	route  func(table, key string) int
+
+	mu         sync.Mutex
+	down       bool
+	txns       map[base.TxnID]*Txn
+	nextTxn    uint64
+	rssp       base.LSN
+	partitions map[string]lockmgr.Partition
+
+	acks *ackTracker
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+
+	commits, aborts, deadlocks, opsSent   atomic.Uint64
+	probes, checkpoints, redoOps, undoOps atomic.Uint64
+	lastEOSL                              atomic.Uint64
+	broadcastGen                          atomic.Uint64
+}
+
+// New builds a TC over the given DC connections. route maps (table, key)
+// to an index into dcs; it must be deterministic, since restart redo uses
+// it to re-deliver logged operations.
+func New(cfg Config, dcs []base.Service, route func(table, key string) int) (*TC, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == 0 {
+		return nil, errors.New("tc: ID must be nonzero")
+	}
+	if len(dcs) == 0 {
+		return nil, errors.New("tc: need at least one DC")
+	}
+	if route == nil {
+		route = func(string, string) int { return 0 }
+	}
+	lmedia := storage.NewLogStore()
+	lmedia.ForceDelay = cfg.ForceDelay
+	log, err := wal.New(lmedia)
+	if err != nil {
+		return nil, err
+	}
+	t := &TC{
+		cfg:        cfg,
+		lmedia:     lmedia,
+		log:        log,
+		locks:      lockmgr.New(),
+		route:      route,
+		txns:       make(map[base.TxnID]*Txn),
+		partitions: make(map[string]lockmgr.Partition),
+		acks:       newAckTracker(),
+		stopCh:     make(chan struct{}),
+		rssp:       1,
+	}
+	t.locks.Timeout = cfg.LockTimeout
+	for _, svc := range dcs {
+		t.dcs = append(t.dcs, newDCHandle(svc))
+	}
+	t.wg.Add(1)
+	go t.watermarkLoop()
+	return t, nil
+}
+
+// ID returns the TC's identity.
+func (t *TC) ID() base.TCID { return t.cfg.ID }
+
+// Log exposes the TC-log (experiments measure log volume and forces).
+func (t *TC) Log() *wal.Log { return t.log }
+
+// Locks exposes the lock manager (experiment E4 reads its stats).
+func (t *TC) Locks() *lockmgr.Manager { return t.locks }
+
+// RSSP returns the current redo scan start point.
+func (t *TC) RSSP() base.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rssp
+}
+
+// Partition returns the static range partition for table, creating a
+// uniform one on first use.
+func (t *TC) Partition(table string) lockmgr.Partition {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.partitions[table]
+	if !ok {
+		p = lockmgr.UniformBytePartition(t.cfg.RangeBuckets)
+		t.partitions[table] = p
+	}
+	return p
+}
+
+// SetPartition overrides the static range partition for a table (workloads
+// with known key shapes install split points matching their key space).
+func (t *TC) SetPartition(table string, p lockmgr.Partition) {
+	t.mu.Lock()
+	t.partitions[table] = p
+	t.mu.Unlock()
+}
+
+// Close stops background work (the TC stays usable for reads of state).
+func (t *TC) Close() {
+	t.stopOnce.Do(func() { close(t.stopCh) })
+	t.wg.Wait()
+}
+
+// watermarkLoop re-broadcasts end_of_stable_log and low_water_mark to all
+// DCs (§4.2.1). The messages are fire-and-forget on a lossy network, so
+// they are refreshed periodically.
+func (t *TC) watermarkLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.cfg.WatermarkInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stopCh:
+			return
+		case <-tick.C:
+			if t.isDown() {
+				continue
+			}
+			t.broadcastWatermarks()
+		}
+	}
+}
+
+func (t *TC) broadcastWatermarks() {
+	eosl := t.log.EOSL()
+	lwm := t.acks.LWM()
+	for _, h := range t.dcs {
+		h.svc.EndOfStableLog(t.cfg.ID, eosl)
+		h.svc.LowWaterMark(t.cfg.ID, lwm)
+	}
+	t.broadcastGen.Add(1)
+}
+
+func (t *TC) isDown() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.down
+}
+
+// perform routes and sends one operation, waiting for the reply, and feeds
+// the ack tracker (the source of low-water marks).
+func (t *TC) perform(op *base.Op) *base.Result {
+	h := t.dcs[t.route(op.Table, op.Key)]
+	h.waitReady()
+	t.opsSent.Add(1)
+	res := h.svc.Perform(op)
+	t.acks.Complete(op.LSN)
+	return res
+}
+
+// Checkpoint advances the redo scan start point (§4.2.1 checkpoint,
+// "contract termination"): force the log, ask every DC to make stable all
+// pages containing operations below the proposed point, then advance and
+// truncate. Returns the new RSSP.
+func (t *TC) Checkpoint() (base.LSN, error) {
+	if t.isDown() {
+		return 0, errors.New("tc: down")
+	}
+	// Everything acknowledged so far is a candidate.
+	newRSSP := t.acks.LWM() + 1
+	t.mu.Lock()
+	if newRSSP <= t.rssp {
+		cur := t.rssp
+		t.mu.Unlock()
+		return cur, nil
+	}
+	t.mu.Unlock()
+	// The DC flush gates require log stability through the checkpointed
+	// operations (causality).
+	t.log.Force()
+	t.broadcastWatermarks()
+	for _, h := range t.dcs {
+		if err := h.svc.Checkpoint(t.cfg.ID, newRSSP); err != nil {
+			return 0, fmt.Errorf("tc %d: checkpoint: %w", t.cfg.ID, err)
+		}
+	}
+	t.mu.Lock()
+	t.rssp = newRSSP
+	oldest := t.oldestActiveFirstLSNLocked()
+	t.mu.Unlock()
+
+	t.log.AppendAssign(&wal.Record{Kind: recCheckpoint, Payload: encodeCheckpoint(newRSSP)})
+	t.log.Force()
+	// Truncate below both the RSSP (redo needs nothing older) and the
+	// oldest active transaction's first record (undo might).
+	trunc := newRSSP
+	if oldest != 0 && oldest < trunc {
+		trunc = oldest
+	}
+	t.log.Truncate(trunc)
+	t.checkpoints.Add(1)
+	return newRSSP, nil
+}
+
+func (t *TC) oldestActiveFirstLSNLocked() base.LSN {
+	var oldest base.LSN
+	for _, txn := range t.txns {
+		if txn.state == txnActive && txn.firstLSN != 0 {
+			if oldest == 0 || txn.firstLSN < oldest {
+				oldest = txn.firstLSN
+			}
+		}
+	}
+	return oldest
+}
+
+// Stats returns a snapshot of counters.
+func (t *TC) Stats() Stats {
+	return Stats{
+		Commits:        t.commits.Load(),
+		Aborts:         t.aborts.Load(),
+		DeadlockAborts: t.deadlocks.Load(),
+		OpsSent:        t.opsSent.Load(),
+		Probes:         t.probes.Load(),
+		Checkpoints:    t.checkpoints.Load(),
+		RedoOps:        t.redoOps.Load(),
+		UndoOps:        t.undoOps.Load(),
+	}
+}
+
+// ackTracker computes the low-water mark: the highest LSN such that every
+// allocated LSN at or below it has completed (reply received, or the LSN
+// belongs to a local record needing no DC round trip).
+type ackTracker struct {
+	mu   sync.Mutex
+	lwm  base.LSN
+	done map[base.LSN]struct{}
+}
+
+func newAckTracker() *ackTracker {
+	return &ackTracker{done: make(map[base.LSN]struct{})}
+}
+
+// Complete marks lsn done and advances the contiguous prefix.
+func (a *ackTracker) Complete(lsn base.LSN) {
+	a.mu.Lock()
+	a.done[lsn] = struct{}{}
+	for {
+		if _, ok := a.done[a.lwm+1]; !ok {
+			break
+		}
+		delete(a.done, a.lwm+1)
+		a.lwm++
+	}
+	a.mu.Unlock()
+}
+
+// LWM returns the current low-water mark.
+func (a *ackTracker) LWM() base.LSN {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lwm
+}
+
+// Reset re-bases the tracker after a restart: every LSN at or below base
+// is considered complete (they are either stably logged and redone, or
+// gone forever).
+func (a *ackTracker) Reset(baseLSN base.LSN) {
+	a.mu.Lock()
+	a.lwm = baseLSN
+	a.done = make(map[base.LSN]struct{})
+	a.mu.Unlock()
+}

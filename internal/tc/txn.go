@@ -1,0 +1,501 @@
+package tc
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/lockmgr"
+	"github.com/cidr09/unbundled/internal/wal"
+)
+
+// Errors surfaced to transaction code.
+var (
+	// ErrTxnDone is returned when using a committed/aborted transaction.
+	ErrTxnDone = errors.New("tc: transaction already finished")
+	// ErrNotFound mirrors base.CodeNotFound at the transaction API.
+	ErrNotFound = errors.New("tc: key not found")
+	// ErrDuplicate mirrors base.CodeDuplicate.
+	ErrDuplicate = errors.New("tc: key already exists")
+	// ErrScanUnstable is returned when the fetch-ahead protocol cannot
+	// stabilize a range read (sustained insert churn in the range).
+	ErrScanUnstable = errors.New("tc: fetch-ahead scan did not stabilize")
+)
+
+type txnState uint8
+
+const (
+	txnActive txnState = iota
+	txnCommitted
+	txnAborted
+)
+
+type tableKey struct{ table, key string }
+
+type cachedVal struct {
+	val   []byte
+	found bool
+}
+
+// Txn is one user transaction executing at this TC. A transaction is used
+// from a single goroutine (many transactions run concurrently).
+type Txn struct {
+	tc    *TC
+	id    base.TxnID
+	state txnState
+	// firstLSN/lastLSN delimit the undo chain in the TC-log.
+	firstLSN, lastLSN base.LSN
+	// cache holds values read or written under locks this transaction
+	// already holds; locked values cannot change underfoot (strict 2PL),
+	// so cached copies are authoritative and spare read-before-write
+	// round trips to the DC.
+	cache map[tableKey]cachedVal
+	// versioned tracks keys written with versioning; commit/abort send
+	// the §6.2.2 finalize operations for them.
+	versioned map[tableKey]struct{}
+	// useVersions makes writes create before versions (§6.2.2), enabling
+	// cross-TC read-committed readers and cheap undo.
+	useVersions bool
+}
+
+// Begin starts a transaction. With versioned=true, writes keep before
+// versions so other TCs can do read-committed reads of this TC's partition
+// (§6.2.2).
+func (t *TC) Begin(versioned bool) *Txn {
+	t.mu.Lock()
+	t.nextTxn++
+	id := base.TxnID(t.nextTxn)
+	x := &Txn{tc: t, id: id, cache: make(map[tableKey]cachedVal), useVersions: versioned}
+	if versioned {
+		x.versioned = make(map[tableKey]struct{})
+	}
+	t.txns[id] = x
+	t.mu.Unlock()
+	return x
+}
+
+// RunTxn runs fn inside a transaction, committing on success and
+// retrying (with a fresh transaction) on deadlock or lock-timeout aborts.
+func (t *TC) RunTxn(versioned bool, fn func(*Txn) error) error {
+	var err error
+	for attempt := 0; attempt < 8; attempt++ {
+		x := t.Begin(versioned)
+		err = fn(x)
+		if err == nil {
+			if err = x.Commit(); err == nil {
+				return nil
+			}
+		} else {
+			_ = x.Abort()
+		}
+		if !errors.Is(err, lockmgr.ErrDeadlock) && !errors.Is(err, lockmgr.ErrTimeout) {
+			return err
+		}
+		t.deadlocks.Add(1)
+	}
+	return err
+}
+
+// ID returns the transaction identifier.
+func (x *Txn) ID() base.TxnID { return x.id }
+
+// lockFor acquires the transactional lock guarding a single-key access.
+// Under the static-range protocol the bucket is locked instead of the key
+// (§3.1: fewer locks, less concurrency).
+func (x *Txn) lockFor(table, key string, mode lockmgr.Mode) error {
+	var res lockmgr.Resource
+	if x.tc.cfg.Protocol == StaticRange {
+		res = lockmgr.RangeRes(table, x.tc.Partition(table).Locate(key))
+	} else {
+		res = lockmgr.KeyRes(table, key)
+	}
+	err := x.tc.locks.Lock(x.id, res, mode)
+	if err != nil {
+		_ = x.Abort()
+	}
+	return err
+}
+
+// Read returns the committed-by-lock value of key in this TC's partition
+// (plain read under a shared lock; the owner also sees its own writes).
+func (x *Txn) Read(table, key string) ([]byte, bool, error) {
+	if x.state != txnActive {
+		return nil, false, ErrTxnDone
+	}
+	if c, ok := x.cache[tableKey{table, key}]; ok {
+		return c.val, c.found, nil
+	}
+	if err := x.lockFor(table, key, lockmgr.S); err != nil {
+		return nil, false, err
+	}
+	return x.readOp(table, key, base.ReadPlain, true)
+}
+
+// readOp issues the read operation (allocating a request ID) and caches.
+func (x *Txn) readOp(table, key string, flavor base.ReadFlavor, cache bool) ([]byte, bool, error) {
+	lsn := x.tc.log.AllocLSN()
+	res := x.tc.perform(&base.Op{TC: x.tc.cfg.ID, LSN: lsn, Kind: base.OpRead,
+		Table: table, Key: key, Flavor: flavor})
+	switch res.Code {
+	case base.CodeOK:
+		if cache {
+			x.cache[tableKey{table, key}] = cachedVal{val: res.Value, found: true}
+		}
+		return res.Value, true, nil
+	case base.CodeNotFound:
+		if cache {
+			x.cache[tableKey{table, key}] = cachedVal{found: false}
+		}
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("tc: read %s/%s: %w", table, key, res.Code.Err())
+	}
+}
+
+// ReadCommitted reads the last committed version of a key that may belong
+// to another TC's update partition. It takes no locks and never blocks:
+// versioned data makes this safe (§6.2.2).
+func (x *Txn) ReadCommitted(table, key string) ([]byte, bool, error) {
+	if x.state != txnActive {
+		return nil, false, ErrTxnDone
+	}
+	return x.readOp(table, key, base.ReadCommitted, false)
+}
+
+// ReadDirty reads the latest (possibly uncommitted) version without
+// locking (§6.2.1).
+func (x *Txn) ReadDirty(table, key string) ([]byte, bool, error) {
+	if x.state != txnActive {
+		return nil, false, ErrTxnDone
+	}
+	return x.readOp(table, key, base.ReadDirty, false)
+}
+
+// valueOf returns the current value under an already-held X lock, going to
+// the DC only when the transaction cache cannot answer.
+func (x *Txn) valueOf(table, key string) ([]byte, bool, error) {
+	if c, ok := x.cache[tableKey{table, key}]; ok {
+		return c.val, c.found, nil
+	}
+	return x.readOp(table, key, base.ReadPlain, true)
+}
+
+// Insert adds a new record; ErrDuplicate if the key exists.
+func (x *Txn) Insert(table, key string, val []byte) error {
+	return x.write(base.OpInsert, table, key, val)
+}
+
+// Update overwrites an existing record; ErrNotFound if absent.
+func (x *Txn) Update(table, key string, val []byte) error {
+	return x.write(base.OpUpdate, table, key, val)
+}
+
+// Upsert writes the record regardless of prior existence.
+func (x *Txn) Upsert(table, key string, val []byte) error {
+	return x.write(base.OpUpsert, table, key, val)
+}
+
+// Delete removes a record; ErrNotFound if absent.
+func (x *Txn) Delete(table, key string) error {
+	return x.write(base.OpDelete, table, key, nil)
+}
+
+// write implements all mutations: X lock, undo capture, logical redo+undo
+// logging *before* the send (so the TC-log order is an OPSR order), then
+// the operation itself.
+func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
+	if x.state != txnActive {
+		return ErrTxnDone
+	}
+	if err := x.lockFor(table, key, lockmgr.X); err != nil {
+		return err
+	}
+	// Pre-check existence so that every logged operation succeeds at the
+	// DC: restart undo can then blindly invert every chained record.
+	var prior []byte
+	var priorFound bool
+	switch kind {
+	case base.OpInsert:
+		_, found, err := x.valueOf(table, key)
+		if err != nil {
+			return err
+		}
+		if found {
+			return ErrDuplicate
+		}
+	case base.OpUpdate, base.OpDelete:
+		p, found, err := x.valueOf(table, key)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return ErrNotFound
+		}
+		prior, priorFound = p, true
+	case base.OpUpsert:
+		p, found, err := x.valueOf(table, key)
+		if err != nil {
+			return err
+		}
+		prior, priorFound = p, found
+	}
+	op := &base.Op{TC: x.tc.cfg.ID, Kind: kind, Table: table, Key: key,
+		Value: val, Versioned: x.useVersions}
+	rec := &wal.Record{Kind: recOp, Txn: x.id, Prev: x.lastLSN,
+		Payload: encodeOpPayload(op, prior, priorFound)}
+	lsn := x.tc.log.AppendAssign(rec)
+	op.LSN = lsn
+	res := x.tc.perform(op)
+	if res.Code != base.CodeOK {
+		// Cannot happen given the pre-checks (the lock freezes the key);
+		// surface loudly if the invariant is ever broken.
+		return fmt.Errorf("tc: logged op failed at DC: %v -> %v", op, res.Code)
+	}
+	if x.firstLSN == 0 {
+		x.firstLSN = lsn
+	}
+	x.lastLSN = lsn
+	tk := tableKey{table, key}
+	if kind == base.OpDelete {
+		x.cache[tk] = cachedVal{found: false}
+	} else {
+		x.cache[tk] = cachedVal{val: val, found: true}
+	}
+	if x.useVersions {
+		x.versioned[tk] = struct{}{}
+	}
+	return nil
+}
+
+// Commit makes the transaction durable: append and force the commit
+// record (group commit), finalize versioned writes (§6.2.2 — removing the
+// before versions; non-blocking for readers, no two-phase commit), then
+// release locks (strict two-phase locking).
+func (x *Txn) Commit() error {
+	if x.state != txnActive {
+		return ErrTxnDone
+	}
+	t := x.tc
+	var vkeys []tableKey
+	for tk := range x.versioned {
+		vkeys = append(vkeys, tk)
+	}
+	rec := &wal.Record{Kind: recCommit, Txn: x.id, Prev: x.lastLSN,
+		Payload: encodeCommit(vkeys)}
+	cLSN := t.log.AppendAssign(rec)
+	t.acks.Complete(cLSN) // local record: no DC round trip
+	t.log.ForceTo(cLSN)
+	// Push the new stable boundary to the DCs promptly: cached pages with
+	// this transaction's operations become flushable (causality).
+	t.broadcastWatermarks()
+	// §6.2.2: "When an updating TC commits the transaction, it sends
+	// updates to the DC to eliminate the before versions." These are
+	// logged so restart re-delivers them for winners.
+	for _, tk := range vkeys {
+		x.finalizeOp(base.OpCommitVersions, tk)
+	}
+	x.state = txnCommitted
+	t.locks.ReleaseAll(x.id)
+	t.mu.Lock()
+	delete(t.txns, x.id)
+	t.mu.Unlock()
+	t.commits.Add(1)
+	return nil
+}
+
+func (x *Txn) finalizeOp(kind base.OpKind, tk tableKey) {
+	t := x.tc
+	op := &base.Op{TC: t.cfg.ID, Kind: kind, Table: tk.table, Key: tk.key}
+	rec := &wal.Record{Kind: recOp, Txn: x.id, Prev: 0,
+		Payload: encodeOpPayload(op, nil, false)}
+	op.LSN = t.log.AppendAssign(rec)
+	t.perform(op)
+}
+
+// Abort rolls the transaction back: walk the undo chain in reverse
+// chronological order, sending inverse logical operations (logged as
+// compensation records so restart never undoes twice), then release locks
+// (§4.1.1(2b)).
+func (x *Txn) Abort() error {
+	if x.state != txnActive {
+		if x.state == txnAborted {
+			return nil
+		}
+		return ErrTxnDone
+	}
+	t := x.tc
+	t.undoChain(x.id, x.lastLSN)
+	t.log.AppendAssign(&wal.Record{Kind: recAbort, Txn: x.id, Prev: x.lastLSN})
+	x.state = txnAborted
+	t.locks.ReleaseAll(x.id)
+	t.mu.Lock()
+	delete(t.txns, x.id)
+	t.mu.Unlock()
+	t.aborts.Add(1)
+	return nil
+}
+
+// undoChain applies inverse operations for the chain starting at lastLSN.
+// Compensation records jump via NextUndo so an undo interrupted by a crash
+// never repeats completed work. Shared by Abort and restart undo.
+func (t *TC) undoChain(txn base.TxnID, lastLSN base.LSN) {
+	cur := lastLSN
+	for cur != 0 {
+		rec := t.log.Get(cur)
+		if rec == nil {
+			return // truncated below the chain: nothing older to undo
+		}
+		switch rec.Kind {
+		case recOp:
+			op, prior, priorFound, err := decodeOpPayload(rec.Payload)
+			if err != nil {
+				return
+			}
+			if inv := inverseOp(op, prior, priorFound); inv != nil {
+				clr := &wal.Record{Kind: recCLR, Txn: txn, Prev: cur,
+					NextUndo: rec.Prev, Payload: encodeOpPayload(inv, nil, false)}
+				inv.LSN = t.log.AppendAssign(clr)
+				t.perform(inv)
+				t.undoOps.Add(1)
+			}
+			cur = rec.Prev
+		case recCLR:
+			cur = rec.NextUndo
+		default:
+			cur = rec.Prev
+		}
+	}
+}
+
+// inverseOp builds the logical inverse (§4.1.1(2b)). Versioned writes
+// invert via abort-versions — the DC discards the uncommitted version and
+// restores the before version (§6.2.2). Finalize operations have no
+// inverse (they only run post-commit).
+func inverseOp(op *base.Op, prior []byte, priorFound bool) *base.Op {
+	if op.Kind == base.OpCommitVersions || op.Kind == base.OpAbortVersions {
+		return nil
+	}
+	if op.Versioned {
+		return &base.Op{TC: op.TC, Kind: base.OpAbortVersions, Table: op.Table, Key: op.Key}
+	}
+	switch op.Kind {
+	case base.OpInsert:
+		return &base.Op{TC: op.TC, Kind: base.OpDelete, Table: op.Table, Key: op.Key}
+	case base.OpUpdate:
+		return &base.Op{TC: op.TC, Kind: base.OpUpdate, Table: op.Table, Key: op.Key, Value: prior}
+	case base.OpUpsert:
+		if priorFound {
+			return &base.Op{TC: op.TC, Kind: base.OpUpdate, Table: op.Table, Key: op.Key, Value: prior}
+		}
+		return &base.Op{TC: op.TC, Kind: base.OpDelete, Table: op.Table, Key: op.Key}
+	case base.OpDelete:
+		return &base.Op{TC: op.TC, Kind: base.OpInsert, Table: op.Table, Key: op.Key, Value: prior}
+	}
+	return nil
+}
+
+// Scan reads [lo, hi) in this TC's partition with full locking, using the
+// configured §3.1 range protocol. hi == "" scans to the end of the table's
+// partition; limit <= 0 means unlimited.
+func (x *Txn) Scan(table, lo, hi string, limit int) (keys []string, vals [][]byte, err error) {
+	if x.state != txnActive {
+		return nil, nil, ErrTxnDone
+	}
+	if x.tc.cfg.Protocol == StaticRange {
+		for _, b := range x.tc.Partition(table).Overlapping(lo, hi) {
+			if err := x.tc.locks.Lock(x.id, lockmgr.RangeRes(table, b), lockmgr.S); err != nil {
+				_ = x.Abort()
+				return nil, nil, err
+			}
+		}
+		res := x.rangeOp(table, lo, hi, limit, base.ReadPlain)
+		if err := res.Err(); err != nil {
+			return nil, nil, err
+		}
+		return res.Keys, res.Values, nil
+	}
+	return x.fetchAheadScan(table, lo, hi, limit)
+}
+
+// fetchAheadScan implements the §3.1 fetch-ahead protocol: speculatively
+// probe for the keys in the range, lock them, then read; if the read
+// returns keys that were not locked, the read doubles as the next probe.
+func (x *Txn) fetchAheadScan(table, lo, hi string, limit int) ([]string, [][]byte, error) {
+	locked := make(map[string]bool)
+	probeLimit := int32(limit)
+	if limit <= 0 || limit > x.tc.cfg.ProbeWidth {
+		probeLimit = int32(x.tc.cfg.ProbeWidth)
+	}
+	// Initial speculative probe.
+	x.tc.probes.Add(1)
+	probe := x.tc.perform(&base.Op{TC: x.tc.cfg.ID, LSN: x.tc.log.AllocLSN(),
+		Kind: base.OpScanProbe, Table: table, Key: lo, EndKey: hi, Limit: probeLimit})
+	if err := probe.Err(); err != nil {
+		return nil, nil, err
+	}
+	toLock := probe.Keys
+	for attempt := 0; attempt < 16; attempt++ {
+		for _, k := range toLock {
+			if locked[k] {
+				continue
+			}
+			if err := x.tc.locks.Lock(x.id, lockmgr.KeyRes(table, k), lockmgr.S); err != nil {
+				_ = x.Abort()
+				return nil, nil, err
+			}
+			locked[k] = true
+		}
+		res := x.rangeOp(table, lo, hi, limit, base.ReadPlain)
+		if err := res.Err(); err != nil {
+			return nil, nil, err
+		}
+		// Should the records read differ from the ones locked, this read
+		// becomes the next speculative probe (§3.1).
+		stable := true
+		for _, k := range res.Keys {
+			if !locked[k] {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			return res.Keys, res.Values, nil
+		}
+		toLock = res.Keys
+		x.tc.probes.Add(1)
+	}
+	_ = x.Abort()
+	return nil, nil, ErrScanUnstable
+}
+
+// ScanCommitted range-reads committed versions across TC ownership
+// boundaries without locks (§6.2.2; used by reader TCs like Figure 2's
+// TC3).
+func (x *Txn) ScanCommitted(table, lo, hi string, limit int) ([]string, [][]byte, error) {
+	if x.state != txnActive {
+		return nil, nil, ErrTxnDone
+	}
+	res := x.rangeOp(table, lo, hi, limit, base.ReadCommitted)
+	if err := res.Err(); err != nil {
+		return nil, nil, err
+	}
+	return res.Keys, res.Values, nil
+}
+
+// ScanDirty range-reads latest versions without locks (§6.2.1).
+func (x *Txn) ScanDirty(table, lo, hi string, limit int) ([]string, [][]byte, error) {
+	if x.state != txnActive {
+		return nil, nil, ErrTxnDone
+	}
+	res := x.rangeOp(table, lo, hi, limit, base.ReadDirty)
+	if err := res.Err(); err != nil {
+		return nil, nil, err
+	}
+	return res.Keys, res.Values, nil
+}
+
+func (x *Txn) rangeOp(table, lo, hi string, limit int, flavor base.ReadFlavor) *base.Result {
+	return x.tc.perform(&base.Op{TC: x.tc.cfg.ID, LSN: x.tc.log.AllocLSN(),
+		Kind: base.OpRangeRead, Table: table, Key: lo, EndKey: hi,
+		Limit: int32(limit), Flavor: flavor})
+}

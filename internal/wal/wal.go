@@ -1,0 +1,289 @@
+// Package wal implements the log manager used by both the transactional
+// component (the TC-log of §4.1.1, whose LSNs double as operation request
+// IDs) and the data component (the DC-log of §5.2.2, whose dLSNs make
+// system-transaction recovery idempotent).
+//
+// The log owns LSN allocation: every allocation is monotonically
+// increasing, and an allocation may or may not carry a record. The TC uses
+// record-less allocations for reads, which need unique request IDs but no
+// redo information. After a crash the tail above the force boundary is
+// lost and the LSN space above the stable end is reused — the abstract-LSN
+// contract in package ablsn is designed for exactly this.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/storage"
+)
+
+// Record is one log record. Kind values are interpreted by the owner (TC
+// or DC); wal treats them opaquely.
+type Record struct {
+	LSN      base.LSN
+	Kind     uint8
+	Txn      base.TxnID
+	Prev     base.LSN // previous record of the same transaction (undo chain)
+	NextUndo base.LSN // for compensation records: next record to undo
+	Payload  []byte
+}
+
+// Append encodes r into buf.
+func (r *Record) Append(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.LSN))
+	buf = append(buf, r.Kind)
+	buf = binary.AppendUvarint(buf, uint64(r.Txn))
+	buf = binary.AppendUvarint(buf, uint64(r.Prev))
+	buf = binary.AppendUvarint(buf, uint64(r.NextUndo))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Payload)))
+	return append(buf, r.Payload...)
+}
+
+// DecodeRecord parses a record previously produced by (*Record).Append.
+func DecodeRecord(buf []byte) (*Record, error) {
+	var r Record
+	u, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, errCorrupt
+	}
+	r.LSN, buf = base.LSN(u), buf[n:]
+	if len(buf) < 1 {
+		return nil, errCorrupt
+	}
+	r.Kind, buf = buf[0], buf[1:]
+	if u, n = binary.Uvarint(buf); n <= 0 {
+		return nil, errCorrupt
+	}
+	r.Txn, buf = base.TxnID(u), buf[n:]
+	if u, n = binary.Uvarint(buf); n <= 0 {
+		return nil, errCorrupt
+	}
+	r.Prev, buf = base.LSN(u), buf[n:]
+	if u, n = binary.Uvarint(buf); n <= 0 {
+		return nil, errCorrupt
+	}
+	r.NextUndo, buf = base.LSN(u), buf[n:]
+	if u, n = binary.Uvarint(buf); n <= 0 {
+		return nil, errCorrupt
+	}
+	buf = buf[n:]
+	if u > uint64(len(buf)) {
+		return nil, errCorrupt
+	}
+	if u > 0 {
+		r.Payload = make([]byte, u)
+		copy(r.Payload, buf[:u])
+	}
+	return &r, nil
+}
+
+var errCorrupt = fmt.Errorf("wal: corrupt record")
+
+// Log is a write-ahead log over a stable LogStore. All methods are safe for
+// concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	media   *storage.LogStore
+	recs    []*Record // in-memory image of media records (stable + tail)
+	next    base.LSN  // next LSN to allocate
+	forced  base.LSN  // EOSL: all records with LSN <= forced are stable
+	last    base.LSN  // last appended record LSN
+	bound   base.LSN  // highest truncated-away LSN: stable forever
+	forcing bool
+}
+
+// New returns a log over media. If media already holds stable records (a
+// restart), the in-memory image is rebuilt from them, the force boundary is
+// the stable end, and LSN allocation resumes just above it — LSNs of lost
+// tail records are reused, as §5.3.2 requires the rest of the system to
+// tolerate.
+func New(media *storage.LogStore) (*Log, error) {
+	l := &Log{media: media}
+	l.cond = sync.NewCond(&l.mu)
+	for _, raw := range media.Scan(media.Start()) {
+		r, err := DecodeRecord(raw)
+		if err != nil {
+			return nil, err
+		}
+		l.recs = append(l.recs, r)
+	}
+	if n := len(l.recs); n > 0 {
+		l.forced = l.recs[n-1].LSN
+		l.last = l.forced
+		l.next = l.forced + 1
+	} else {
+		l.next = 1
+	}
+	return l, nil
+}
+
+// AllocLSN reserves the next LSN without writing a record (unique request
+// IDs for reads, §4.2).
+func (l *Log) AllocLSN() base.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.next
+	l.next++
+	return lsn
+}
+
+// AppendAssign atomically assigns the next LSN to r and appends it. It
+// returns the assigned LSN. The record is volatile until forced.
+func (l *Log) AppendAssign(r *Record) base.LSN {
+	l.mu.Lock()
+	r.LSN = l.next
+	l.next++
+	l.last = r.LSN
+	l.recs = append(l.recs, r)
+	// The media append happens under the same mutex so that the media
+	// order always equals the in-memory (LSN) order; OPSR for the TC-log
+	// depends on this.
+	l.media.Append(r.Append(nil))
+	l.mu.Unlock()
+	return r.LSN
+}
+
+// ForceTo blocks until all records with LSN <= lsn are stable. Concurrent
+// callers are group-forced: one caller performs the media force while the
+// others wait, so a single (simulated) fsync can commit many transactions.
+func (l *Log) ForceTo(lsn base.LSN) {
+	l.mu.Lock()
+	for l.forced < lsn {
+		if l.forcing {
+			l.cond.Wait()
+			continue
+		}
+		l.forcing = true
+		l.mu.Unlock()
+		l.media.Force()
+		l.mu.Lock()
+		// Everything appended before the force completed is stable.
+		end := l.media.StableEnd()
+		if n := end - l.media.Start(); n > 0 && int(n) <= len(l.recs) {
+			l.forced = l.recs[n-1].LSN
+		}
+		l.forcing = false
+		l.cond.Broadcast()
+		if l.forced < lsn && l.media.End() == l.media.StableEnd() {
+			// The log is fully stable yet the target is still ahead: the
+			// caller names an LSN that was never appended in this
+			// incarnation. With the truncation bound tracked this cannot
+			// happen; spinning would hang forever, so fail loudly.
+			panic(fmt.Sprintf("wal: ForceTo(%d) beyond fully-stable log end %d", lsn, l.forced))
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Force makes every appended record stable.
+func (l *Log) Force() {
+	l.mu.Lock()
+	target := l.last
+	l.mu.Unlock()
+	l.ForceTo(target)
+}
+
+// EOSL returns the end of the stable log: every record with LSN <= EOSL
+// survives a crash (§4.2.1 end_of_stable_log).
+func (l *Log) EOSL() base.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forced
+}
+
+// LastLSN returns the LSN of the most recently appended record.
+func (l *Log) LastLSN() base.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// NextLSN returns the next LSN that would be allocated (diagnostics).
+func (l *Log) NextLSN() base.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Crash simulates losing the volatile tail. The in-memory image reverts to
+// the stable prefix and LSN allocation restarts just above it.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.media.Crash()
+	n := l.media.StableEnd() - l.media.Start()
+	l.recs = l.recs[:n]
+	if n > 0 {
+		l.forced = l.recs[n-1].LSN
+	} else {
+		l.forced = 0
+	}
+	// Truncated records were stable by contract; the force watermark (and
+	// hence LSN allocation) never regresses below them.
+	if l.bound > l.forced {
+		l.forced = l.bound
+	}
+	l.last = l.forced
+	l.next = l.forced + 1
+}
+
+// Scan returns the stable records with LSN >= from, in LSN order. Volatile
+// tail records are not returned: recovery must only see the stable log.
+func (l *Log) Scan(from base.LSN) []*Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := int(l.media.StableEnd() - l.media.Start())
+	stable := l.recs[:n]
+	i := sort.Search(len(stable), func(i int) bool { return stable[i].LSN >= from })
+	out := make([]*Record, len(stable)-i)
+	copy(out, stable[i:])
+	return out
+}
+
+// Get returns the record with exactly the given LSN (stable or volatile),
+// or nil. Used for undo chain walks during normal rollback.
+func (l *Log) Get(lsn base.LSN) *Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := sort.Search(len(l.recs), func(i int) bool { return l.recs[i].LSN >= lsn })
+	if i < len(l.recs) && l.recs[i].LSN == lsn {
+		return l.recs[i]
+	}
+	return nil
+}
+
+// Truncate discards stable records with LSN < before (contract
+// termination: the checkpoint protocol has released the resend obligation
+// for them, §4.2.1).
+func (l *Log) Truncate(before base.LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	stableN := int(l.media.StableEnd() - l.media.Start())
+	i := sort.Search(stableN, func(i int) bool { return l.recs[i].LSN >= before })
+	if i == 0 {
+		return
+	}
+	if last := l.recs[i-1].LSN; last > l.bound {
+		l.bound = last
+	}
+	l.media.Truncate(l.media.Start() + uint64(i))
+	l.recs = append([]*Record(nil), l.recs[i:]...)
+}
+
+// StartLSN returns the LSN of the first retained record, or 0 if empty.
+func (l *Log) StartLSN() base.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.recs) == 0 {
+		return 0
+	}
+	return l.recs[0].LSN
+}
+
+// Media exposes the underlying store (stats for benches).
+func (l *Log) Media() *storage.LogStore { return l.media }

@@ -1,0 +1,266 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/storage"
+)
+
+func newLog(t *testing.T) *Log {
+	t.Helper()
+	l, err := New(storage.NewLogStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []*Record{
+		{LSN: 1, Kind: 2, Txn: 3, Prev: 0, NextUndo: 0, Payload: []byte("hello")},
+		{LSN: 1 << 40, Kind: 255, Txn: 1 << 50, Prev: 99, NextUndo: 98},
+		{LSN: 7},
+	}
+	for _, r := range recs {
+		buf := r.Append(nil)
+		got, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(r, got) {
+			t.Fatalf("roundtrip: in=%+v out=%+v", r, got)
+		}
+	}
+}
+
+func TestRecordRoundTripQuick(t *testing.T) {
+	f := func(lsn uint64, kind uint8, txn, prev, nu uint64, payload []byte) bool {
+		r := &Record{LSN: base.LSN(lsn), Kind: kind, Txn: base.TxnID(txn),
+			Prev: base.LSN(prev), NextUndo: base.LSN(nu), Payload: payload}
+		if len(r.Payload) == 0 {
+			r.Payload = nil
+		}
+		got, err := DecodeRecord(r.Append(nil))
+		return err == nil && reflect.DeepEqual(r, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordDecodeTruncated(t *testing.T) {
+	r := &Record{LSN: 123456, Kind: 9, Txn: 7, Payload: bytes.Repeat([]byte("p"), 30)}
+	buf := r.Append(nil)
+	for i := 0; i < len(buf); i++ {
+		if _, err := DecodeRecord(buf[:i]); err == nil {
+			t.Fatalf("truncation at %d undetected", i)
+		}
+	}
+}
+
+func TestAppendAssignMonotonic(t *testing.T) {
+	l := newLog(t)
+	var lsns []base.LSN
+	for i := 0; i < 10; i++ {
+		lsns = append(lsns, l.AppendAssign(&Record{Kind: 1}))
+		if i%3 == 0 {
+			l.AllocLSN() // read IDs create gaps
+		}
+	}
+	for i := 1; i < len(lsns); i++ {
+		if lsns[i] <= lsns[i-1] {
+			t.Fatalf("LSNs not increasing: %v", lsns)
+		}
+	}
+}
+
+func TestCrashLosesTail(t *testing.T) {
+	l := newLog(t)
+	a := l.AppendAssign(&Record{Kind: 1})
+	l.ForceTo(a)
+	b := l.AppendAssign(&Record{Kind: 2})
+	if l.EOSL() != a {
+		t.Fatalf("EOSL = %d want %d", l.EOSL(), a)
+	}
+	l.Crash()
+	if l.LastLSN() != a {
+		t.Fatalf("after crash last = %d want %d", l.LastLSN(), a)
+	}
+	// LSN of the lost record is reused.
+	c := l.AppendAssign(&Record{Kind: 3})
+	if c != b {
+		t.Fatalf("LSN reuse expected: got %d want %d", c, b)
+	}
+	recs := l.Scan(0)
+	if len(recs) != 1 || recs[0].Kind != 1 {
+		t.Fatalf("stable scan after crash: %+v", recs)
+	}
+}
+
+func TestScanOnlyStable(t *testing.T) {
+	l := newLog(t)
+	l.AppendAssign(&Record{Kind: 1})
+	l.Force()
+	l.AppendAssign(&Record{Kind: 2})
+	recs := l.Scan(0)
+	if len(recs) != 1 {
+		t.Fatalf("scan saw volatile records: %d", len(recs))
+	}
+	l.Force()
+	if got := len(l.Scan(0)); got != 2 {
+		t.Fatalf("after force scan = %d", got)
+	}
+	if got := len(l.Scan(2)); got != 1 {
+		t.Fatalf("scan(2) = %d", got)
+	}
+}
+
+func TestRecoverFromMedia(t *testing.T) {
+	media := storage.NewLogStore()
+	l, _ := New(media)
+	l.AppendAssign(&Record{Kind: 1, Payload: []byte("x")})
+	l.AppendAssign(&Record{Kind: 2})
+	l.Force()
+	l.AppendAssign(&Record{Kind: 3}) // lost
+	media.Crash()
+
+	l2, err := New(media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.EOSL() != 2 || l2.LastLSN() != 2 {
+		t.Fatalf("recovered eosl=%d last=%d", l2.EOSL(), l2.LastLSN())
+	}
+	if next := l2.AppendAssign(&Record{Kind: 4}); next != 3 {
+		t.Fatalf("allocation after recovery = %d want 3", next)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l := newLog(t)
+	for i := 0; i < 5; i++ {
+		l.AppendAssign(&Record{Kind: uint8(i)})
+	}
+	l.Force()
+	l.Truncate(3)
+	recs := l.Scan(0)
+	if len(recs) != 3 || recs[0].LSN != 3 {
+		t.Fatalf("after truncate: %d recs first=%v", len(recs), recs[0])
+	}
+	if l.StartLSN() != 3 {
+		t.Fatalf("StartLSN = %d", l.StartLSN())
+	}
+	// Truncate is idempotent and ignores lower bounds.
+	l.Truncate(2)
+	if len(l.Scan(0)) != 3 {
+		t.Fatal("backwards truncate changed the log")
+	}
+}
+
+func TestGet(t *testing.T) {
+	l := newLog(t)
+	l.AppendAssign(&Record{Kind: 1})
+	l.AllocLSN()
+	l.AppendAssign(&Record{Kind: 3})
+	if r := l.Get(1); r == nil || r.Kind != 1 {
+		t.Fatalf("Get(1) = %+v", r)
+	}
+	if r := l.Get(2); r != nil {
+		t.Fatalf("Get(2) should be nil (read id), got %+v", r)
+	}
+	if r := l.Get(3); r == nil || r.Kind != 3 {
+		t.Fatalf("Get(3) = %+v", r)
+	}
+}
+
+func TestConcurrentAppendForce(t *testing.T) {
+	l := newLog(t)
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lsn := l.AppendAssign(&Record{Kind: 1, Txn: base.TxnID(g)})
+				if i%10 == 0 {
+					l.ForceTo(lsn)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	l.Force()
+	recs := l.Scan(0)
+	if len(recs) != goroutines*perG {
+		t.Fatalf("lost records: %d", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LSN <= recs[i-1].LSN {
+			t.Fatalf("stable log out of order at %d", i)
+		}
+	}
+}
+
+func TestGroupForce(t *testing.T) {
+	media := storage.NewLogStore()
+	media.ForceDelay = 0 // logic-only check
+	l, _ := New(media)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lsn := l.AppendAssign(&Record{Kind: 1})
+			l.ForceTo(lsn)
+			if l.EOSL() < lsn {
+				t.Errorf("ForceTo returned before stability: eosl=%d lsn=%d", l.EOSL(), lsn)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLogStoreTruncateBeyondStablePanics(t *testing.T) {
+	media := storage.NewLogStore()
+	media.Append([]byte("a"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic truncating past stable end")
+		}
+	}()
+	media.Truncate(1) // record 0 not forced yet
+}
+
+func BenchmarkAppend(b *testing.B) {
+	l, _ := New(storage.NewLogStore())
+	payload := bytes.Repeat([]byte("x"), 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.AppendAssign(&Record{Kind: 1, Payload: payload})
+	}
+}
+
+func BenchmarkGroupForce(b *testing.B) {
+	for _, conc := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("conc=%d", conc), func(b *testing.B) {
+			media := storage.NewLogStore()
+			l, _ := New(media)
+			b.SetParallelism(conc)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					lsn := l.AppendAssign(&Record{Kind: 1})
+					l.ForceTo(lsn)
+				}
+			})
+			b.ReportMetric(float64(media.Forces())/float64(b.N), "forces/op")
+		})
+	}
+}

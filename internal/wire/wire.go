@@ -1,0 +1,380 @@
+// Package wire is the asynchronous message fabric between TCs and DCs —
+// the substitute for a cloud RPC stack (DESIGN.md §3). It deliberately
+// misbehaves: configurable one-way delay and jitter (which reorders
+// deliveries), message loss, and duplication. The client stub implements
+// base.Service by resending requests until acknowledged (§4.2 "Resend
+// Requests"); together with DC idempotence this yields exactly-once
+// execution of logical operations over an at-most-once network.
+//
+// Operations and results cross the wire in their binary encodings, so the
+// serialization cost the paper's unbundling implies is actually paid.
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cidr09/unbundled/internal/base"
+)
+
+// Config shapes network behaviour. The zero value is a perfect, zero-delay
+// network.
+type Config struct {
+	// Delay is the base one-way delivery delay.
+	Delay time.Duration
+	// Jitter adds a uniform random [0, Jitter) to each delivery; any
+	// nonzero jitter reorders messages.
+	Jitter time.Duration
+	// LossProb is the probability a message is silently dropped.
+	LossProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// ResendAfter is how long the client waits for a reply before
+	// resending. Zero picks a default derived from Delay.
+	ResendAfter time.Duration
+	// Seed makes the misbehaviour reproducible.
+	Seed int64
+}
+
+func (c Config) resendAfter() time.Duration {
+	if c.ResendAfter > 0 {
+		return c.ResendAfter
+	}
+	d := 4*(c.Delay+c.Jitter) + 2*time.Millisecond
+	return d
+}
+
+// Stats counts network traffic.
+type Stats struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64
+	Duplicated uint64
+	Bytes      uint64
+	Resends    uint64
+}
+
+// Network is a collection of links sharing one misbehaviour configuration.
+type Network struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rnd *rand.Rand
+
+	sent, delivered, dropped, duplicated, bytes, resends atomic.Uint64
+}
+
+// NewNetwork returns a network with the given configuration.
+func NewNetwork(cfg Config) *Network {
+	return &Network{cfg: cfg, rnd: rand.New(rand.NewSource(cfg.Seed + 1))}
+}
+
+// Stats returns a snapshot of traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:       n.sent.Load(),
+		Delivered:  n.delivered.Load(),
+		Dropped:    n.dropped.Load(),
+		Duplicated: n.duplicated.Load(),
+		Bytes:      n.bytes.Load(),
+		Resends:    n.resends.Load(),
+	}
+}
+
+type msgKind uint8
+
+const (
+	msgPerform msgKind = iota + 1
+	msgEOSL
+	msgLWM
+	msgCheckpoint
+	msgBeginRestart
+	msgEndRestart
+	msgReply // server -> client; id correlates
+)
+
+type message struct {
+	kind msgKind
+	id   uint64
+	tc   base.TCID
+	lsn  base.LSN
+	body []byte // encoded op (perform) or encoded result (reply)
+	err  string // control-reply failure
+}
+
+func (m *message) size() int { return 24 + len(m.body) + len(m.err) }
+
+// deliver schedules msg into dst applying delay/jitter/loss/duplication.
+func (n *Network) deliver(dst *endpoint, m *message) {
+	n.sent.Add(1)
+	n.bytes.Add(uint64(m.size()))
+	n.mu.Lock()
+	drop := n.rnd.Float64() < n.cfg.LossProb
+	dup := n.rnd.Float64() < n.cfg.DupProb
+	var jitter time.Duration
+	if n.cfg.Jitter > 0 {
+		jitter = time.Duration(n.rnd.Int63n(int64(n.cfg.Jitter)))
+	}
+	n.mu.Unlock()
+	if drop {
+		n.dropped.Add(1)
+		return
+	}
+	send := func() {
+		delay := n.cfg.Delay + jitter
+		if delay <= 0 {
+			dst.push(n, m)
+			return
+		}
+		time.AfterFunc(delay, func() { dst.push(n, m) })
+	}
+	send()
+	if dup {
+		n.duplicated.Add(1)
+		send()
+	}
+}
+
+// endpoint is one side of a link: an inbox plus a down flag.
+type endpoint struct {
+	inbox chan *message
+	down  atomic.Bool
+	once  sync.Once
+	close chan struct{}
+}
+
+func newEndpoint() *endpoint {
+	return &endpoint{inbox: make(chan *message, 8192), close: make(chan struct{})}
+}
+
+func (e *endpoint) push(n *Network, m *message) {
+	if e.down.Load() {
+		n.dropped.Add(1)
+		return
+	}
+	select {
+	case e.inbox <- m:
+		n.delivered.Add(1)
+	case <-e.close:
+		n.dropped.Add(1)
+	default:
+		// Congestion: the inbox is full; drop. Resend recovers.
+		n.dropped.Add(1)
+	}
+}
+
+func (e *endpoint) shutdown() { e.once.Do(func() { close(e.close) }) }
+
+// Connect builds a client/server pair over n. The server dispatches to
+// svc; Perform requests run in their own goroutines, matching the paper's
+// multi-threaded DC. Close the returned pair to stop the pumps.
+func (n *Network) Connect(svc base.Service) (*Client, *Server) {
+	toServer := newEndpoint()
+	toClient := newEndpoint()
+	srv := &Server{net: n, svc: svc, in: toServer, out: toClient}
+	cl := &Client{net: n, in: toClient, out: toServer,
+		waiters: make(map[uint64]chan *message)}
+	go srv.run()
+	go cl.run()
+	return cl, srv
+}
+
+// Server pumps inbound messages into the wrapped service.
+type Server struct {
+	net *Network
+	svc base.Service
+	in  *endpoint
+	out *endpoint
+}
+
+// SetDown marks the server (DC process) up or down. While down, inbound
+// messages are dropped — crashed processes do not answer.
+func (s *Server) SetDown(down bool) { s.in.down.Store(down) }
+
+// Close stops the server pump.
+func (s *Server) Close() { s.in.shutdown() }
+
+func (s *Server) run() {
+	for {
+		select {
+		case <-s.in.close:
+			return
+		case m := <-s.in.inbox:
+			if s.in.down.Load() {
+				continue
+			}
+			switch m.kind {
+			case msgPerform:
+				go s.perform(m)
+			case msgEOSL:
+				s.svc.EndOfStableLog(m.tc, m.lsn)
+			case msgLWM:
+				s.svc.LowWaterMark(m.tc, m.lsn)
+			case msgCheckpoint:
+				go s.control(m, func() error { return s.svc.Checkpoint(m.tc, m.lsn) })
+			case msgBeginRestart:
+				go s.control(m, func() error { return s.svc.BeginRestart(m.tc, m.lsn) })
+			case msgEndRestart:
+				go s.control(m, func() error { return s.svc.EndRestart(m.tc) })
+			}
+		}
+	}
+}
+
+func (s *Server) perform(m *message) {
+	op, _, err := base.DecodeOp(m.body)
+	if err != nil {
+		s.net.deliver(s.out, &message{kind: msgReply, id: m.id, err: err.Error()})
+		return
+	}
+	res := s.svc.Perform(op)
+	s.net.deliver(s.out, &message{kind: msgReply, id: m.id, body: base.AppendResult(nil, res)})
+}
+
+func (s *Server) control(m *message, f func() error) {
+	var errStr string
+	if err := f(); err != nil {
+		errStr = err.Error()
+	}
+	s.net.deliver(s.out, &message{kind: msgReply, id: m.id, err: errStr})
+}
+
+// Client is the TC-side stub implementing base.Service over the network.
+type Client struct {
+	net *Network
+	in  *endpoint
+	out *endpoint
+
+	mu      sync.Mutex
+	waiters map[uint64]chan *message
+	nextID  atomic.Uint64
+}
+
+// Close stops the client pump and fails outstanding calls.
+func (c *Client) Close() {
+	c.in.shutdown()
+}
+
+// SetDown marks the client (TC process) up or down; a down client drops
+// inbound replies, as a crashed TC would.
+func (c *Client) SetDown(down bool) { c.in.down.Store(down) }
+
+func (c *Client) run() {
+	for {
+		select {
+		case <-c.in.close:
+			return
+		case m := <-c.in.inbox:
+			if m.kind != msgReply {
+				continue
+			}
+			c.mu.Lock()
+			ch := c.waiters[m.id]
+			c.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- m:
+				default: // duplicate reply for an already-answered attempt
+				}
+			}
+		}
+	}
+}
+
+// call sends m (with a fresh correlation id per attempt) and resends until
+// a reply arrives.
+func (c *Client) call(kind msgKind, tc base.TCID, lsn base.LSN, body []byte) *message {
+	resend := c.net.cfg.resendAfter()
+	attempt := 0
+	for {
+		id := c.nextID.Add(1)
+		ch := make(chan *message, 1)
+		c.mu.Lock()
+		c.waiters[id] = ch
+		c.mu.Unlock()
+		c.net.deliver(c.out, &message{kind: kind, id: id, tc: tc, lsn: lsn, body: body})
+		if attempt > 0 {
+			c.net.resends.Add(1)
+		}
+		timer := time.NewTimer(resend)
+		select {
+		case reply := <-ch:
+			timer.Stop()
+			c.mu.Lock()
+			delete(c.waiters, id)
+			c.mu.Unlock()
+			return reply
+		case <-timer.C:
+			c.mu.Lock()
+			delete(c.waiters, id)
+			c.mu.Unlock()
+			attempt++
+			// Exponential-ish backoff, capped: persistent resend per §4.2.
+			if attempt > 4 && resend < time.Second {
+				resend *= 2
+			}
+		case <-c.in.close:
+			timer.Stop()
+			return &message{kind: msgReply, err: "wire: client closed"}
+		}
+	}
+}
+
+// Perform implements base.Service. It blocks, resending, until the DC
+// acknowledges — exactly-once courtesy of unique request IDs (op.LSN) and
+// DC idempotence.
+func (c *Client) Perform(op *base.Op) *base.Result {
+	body := base.AppendOp(nil, op)
+	for {
+		reply := c.call(msgPerform, op.TC, op.LSN, body)
+		if reply.err != "" {
+			return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
+		}
+		res, _, err := base.DecodeResult(reply.body)
+		if err != nil {
+			return &base.Result{LSN: op.LSN, Code: base.CodeBadRequest}
+		}
+		if res.Code == base.CodeUnavailable {
+			// DC up but still recovering; retry after a pause.
+			time.Sleep(c.net.cfg.resendAfter())
+			continue
+		}
+		return res
+	}
+}
+
+// EndOfStableLog implements base.Service as fire-and-forget; the TC
+// re-broadcasts the watermark periodically, so loss only delays pruning.
+func (c *Client) EndOfStableLog(tc base.TCID, eosl base.LSN) {
+	c.net.deliver(c.out, &message{kind: msgEOSL, tc: tc, lsn: eosl})
+}
+
+// LowWaterMark implements base.Service as fire-and-forget.
+func (c *Client) LowWaterMark(tc base.TCID, lwm base.LSN) {
+	c.net.deliver(c.out, &message{kind: msgLWM, tc: tc, lsn: lwm})
+}
+
+// Checkpoint implements base.Service with resend until acknowledged.
+func (c *Client) Checkpoint(tc base.TCID, newRSSP base.LSN) error {
+	return c.controlErr(c.call(msgCheckpoint, tc, newRSSP, nil))
+}
+
+// BeginRestart implements base.Service with resend until acknowledged.
+func (c *Client) BeginRestart(tc base.TCID, stableLSN base.LSN) error {
+	return c.controlErr(c.call(msgBeginRestart, tc, stableLSN, nil))
+}
+
+// EndRestart implements base.Service with resend until acknowledged.
+func (c *Client) EndRestart(tc base.TCID) error {
+	return c.controlErr(c.call(msgEndRestart, tc, 0, nil))
+}
+
+func (c *Client) controlErr(reply *message) error {
+	if reply.err != "" {
+		return fmt.Errorf("wire: %s", reply.err)
+	}
+	return nil
+}

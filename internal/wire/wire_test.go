@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cidr09/unbundled/internal/base"
+)
+
+// echoService is a minimal base.Service that records idempotence-relevant
+// state: each LSN is applied once; duplicates are reported via Applied.
+type echoService struct {
+	mu      sync.Mutex
+	applied map[base.LSN]int
+	eosl    base.LSN
+	lwm     base.LSN
+	ckpts   []base.LSN
+	unavail atomic.Bool
+}
+
+func newEchoService() *echoService {
+	return &echoService{applied: make(map[base.LSN]int)}
+}
+
+func (s *echoService) Perform(op *base.Op) *base.Result {
+	if s.unavail.Load() {
+		return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied[op.LSN]++
+	return &base.Result{LSN: op.LSN, Code: base.CodeOK, Found: true,
+		Value: []byte(op.Key), Applied: s.applied[op.LSN] > 1}
+}
+
+func (s *echoService) EndOfStableLog(tc base.TCID, eosl base.LSN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if eosl > s.eosl {
+		s.eosl = eosl
+	}
+}
+
+func (s *echoService) LowWaterMark(tc base.TCID, lwm base.LSN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lwm > s.lwm {
+		s.lwm = lwm
+	}
+}
+
+func (s *echoService) Checkpoint(tc base.TCID, newRSSP base.LSN) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ckpts = append(s.ckpts, newRSSP)
+	return nil
+}
+
+func (s *echoService) BeginRestart(tc base.TCID, stableLSN base.LSN) error { return nil }
+func (s *echoService) EndRestart(tc base.TCID) error                       { return nil }
+
+func TestPerformPerfectNetwork(t *testing.T) {
+	n := NewNetwork(Config{})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+
+	res := cl.Perform(&base.Op{TC: 1, LSN: 7, Kind: base.OpRead, Table: "t", Key: "k"})
+	if res.Code != base.CodeOK || string(res.Value) != "k" || res.LSN != 7 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestPerformLossyNetworkExactlyOnceEffect(t *testing.T) {
+	n := NewNetwork(Config{LossProb: 0.3, DupProb: 0.2, Jitter: 500 * time.Microsecond,
+		ResendAfter: 2 * time.Millisecond, Seed: 42})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+
+	const ops = 200
+	var wg sync.WaitGroup
+	for i := 1; i <= ops; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := cl.Perform(&base.Op{TC: 1, LSN: base.LSN(i), Kind: base.OpUpsert,
+				Table: "t", Key: fmt.Sprintf("k%d", i)})
+			if res.Code != base.CodeOK {
+				t.Errorf("op %d failed: %+v", i, res)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Every LSN was applied at least once (the server does not dedupe in
+	// this mock — the real DC does; here we just assert delivery).
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	for i := 1; i <= ops; i++ {
+		if svc.applied[base.LSN(i)] == 0 {
+			t.Fatalf("op %d never delivered", i)
+		}
+	}
+	if n.Stats().Resends == 0 {
+		t.Fatal("expected resends on a lossy network")
+	}
+}
+
+func TestControlMessages(t *testing.T) {
+	n := NewNetwork(Config{LossProb: 0.2, ResendAfter: 2 * time.Millisecond, Seed: 9})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+
+	if err := cl.Checkpoint(1, 55); err != nil {
+		t.Fatal(err)
+	}
+	svc.mu.Lock()
+	ok := len(svc.ckpts) >= 1 && svc.ckpts[0] == 55
+	svc.mu.Unlock()
+	if !ok {
+		t.Fatalf("checkpoint not delivered: %v", svc.ckpts)
+	}
+	if err := cl.BeginRestart(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.EndRestart(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEOSLAndLWMEventuallyArrive(t *testing.T) {
+	n := NewNetwork(Config{LossProb: 0.5, Seed: 3})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+
+	// Fire-and-forget with periodic re-broadcast (as the TC does).
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		cl.EndOfStableLog(1, 99)
+		cl.LowWaterMark(1, 88)
+		time.Sleep(time.Millisecond)
+		svc.mu.Lock()
+		got := svc.eosl == 99 && svc.lwm == 88
+		svc.mu.Unlock()
+		if got {
+			return
+		}
+	}
+	t.Fatal("watermarks never arrived despite re-broadcast")
+}
+
+func TestServerDownThenUp(t *testing.T) {
+	n := NewNetwork(Config{ResendAfter: 2 * time.Millisecond})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+
+	srv.SetDown(true)
+	done := make(chan *base.Result, 1)
+	go func() {
+		done <- cl.Perform(&base.Op{TC: 1, LSN: 1, Kind: base.OpRead, Table: "t", Key: "k"})
+	}()
+	select {
+	case <-done:
+		t.Fatal("Perform returned while server down")
+	case <-time.After(30 * time.Millisecond):
+	}
+	srv.SetDown(false)
+	select {
+	case res := <-done:
+		if res.Code != base.CodeOK {
+			t.Fatalf("res = %+v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Perform never completed after server recovered")
+	}
+}
+
+func TestUnavailableRetries(t *testing.T) {
+	n := NewNetwork(Config{ResendAfter: time.Millisecond})
+	svc := newEchoService()
+	svc.unavail.Store(true)
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+
+	done := make(chan *base.Result, 1)
+	go func() {
+		done <- cl.Perform(&base.Op{TC: 1, LSN: 5, Kind: base.OpRead, Table: "t", Key: "k"})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	svc.unavail.Store(false)
+	select {
+	case res := <-done:
+		if res.Code != base.CodeOK {
+			t.Fatalf("res = %+v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("never recovered from unavailable")
+	}
+}
+
+func TestClientCloseUnblocksPerform(t *testing.T) {
+	n := NewNetwork(Config{ResendAfter: 5 * time.Millisecond})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer srv.Close()
+	srv.SetDown(true)
+
+	done := make(chan *base.Result, 1)
+	go func() {
+		done <- cl.Perform(&base.Op{TC: 1, LSN: 1, Kind: base.OpRead, Table: "t", Key: "k"})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cl.Close()
+	select {
+	case res := <-done:
+		if res.Code != base.CodeUnavailable {
+			t.Fatalf("res = %+v", res)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Perform hung after client close")
+	}
+}
+
+func TestDelayIsApplied(t *testing.T) {
+	n := NewNetwork(Config{Delay: 5 * time.Millisecond})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+
+	start := time.Now()
+	cl.Perform(&base.Op{TC: 1, LSN: 1, Kind: base.OpRead, Table: "t", Key: "k"})
+	if rtt := time.Since(start); rtt < 10*time.Millisecond {
+		t.Fatalf("round trip %v < 2x one-way delay", rtt)
+	}
+}
+
+func BenchmarkPerformRoundTrip(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		c    Config
+	}{
+		{"perfect", Config{}},
+		{"delay100us", Config{Delay: 100 * time.Microsecond}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			n := NewNetwork(cfg.c)
+			svc := newEchoService()
+			cl, srv := n.Connect(svc)
+			defer cl.Close()
+			defer srv.Close()
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					i++
+					cl.Perform(&base.Op{TC: 1, LSN: base.LSN(i), Kind: base.OpRead, Table: "t", Key: "k"})
+				}
+			})
+		})
+	}
+}

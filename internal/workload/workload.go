@@ -1,0 +1,168 @@
+// Package workload generates the paper's evaluation workloads: generic
+// key-value transaction mixes (experiments E1, E3, E4, E7, E8) and the
+// Figure-2 movie-review cloud scenario with its four transaction classes
+// W1–W4 (§6.3).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KV describes a key-value transaction mix.
+type KV struct {
+	// Keys is the size of the key space.
+	Keys int
+	// ValueSize is the value payload size in bytes.
+	ValueSize int
+	// ReadFrac is the fraction of operations that are reads.
+	ReadFrac float64
+	// OpsPerTxn is the number of operations per transaction.
+	OpsPerTxn int
+	// Theta > 0 skews key choice with a Zipf-like distribution; 0 is
+	// uniform.
+	Theta float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// WithDefaults fills unset fields.
+func (k KV) WithDefaults() KV {
+	if k.Keys <= 0 {
+		k.Keys = 10000
+	}
+	if k.ValueSize <= 0 {
+		k.ValueSize = 64
+	}
+	if k.OpsPerTxn <= 0 {
+		k.OpsPerTxn = 4
+	}
+	return k
+}
+
+// Gen is a deterministic operation stream for one worker.
+type Gen struct {
+	kv   KV
+	rnd  *rand.Rand
+	zipf *rand.Zipf
+	val  []byte
+}
+
+// NewGen builds a generator for worker i.
+func (k KV) NewGen(worker int) *Gen {
+	k = k.WithDefaults()
+	rnd := rand.New(rand.NewSource(k.Seed + int64(worker)*7919 + 1))
+	g := &Gen{kv: k, rnd: rnd, val: make([]byte, k.ValueSize)}
+	for i := range g.val {
+		g.val[i] = byte('a' + (i % 26))
+	}
+	if k.Theta > 0 {
+		g.zipf = rand.NewZipf(rnd, 1+k.Theta, 1, uint64(k.Keys-1))
+	}
+	return g
+}
+
+// Key draws the next key.
+func (g *Gen) Key() string {
+	var i uint64
+	if g.zipf != nil {
+		i = g.zipf.Uint64()
+	} else {
+		i = uint64(g.rnd.Intn(g.kv.Keys))
+	}
+	return KVKey(int(i))
+}
+
+// KVKey formats key i in the canonical shape.
+func KVKey(i int) string { return fmt.Sprintf("key%08d", i) }
+
+// KVKeyIndex parses a canonical key back to its index (routing helpers).
+func KVKeyIndex(key string) int {
+	n := 0
+	for _, c := range key {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// IsRead draws whether the next operation is a read.
+func (g *Gen) IsRead() bool { return g.rnd.Float64() < g.kv.ReadFrac }
+
+// Value returns the payload (shared buffer; callers must not retain).
+func (g *Gen) Value() []byte { return g.val }
+
+// OpsPerTxn returns the configured transaction size.
+func (g *Gen) OpsPerTxn() int { return g.kv.OpsPerTxn }
+
+// Rand exposes the underlying source for auxiliary decisions.
+func (g *Gen) Rand() *rand.Rand { return g.rnd }
+
+// --- Figure 2: movie site schema (§6.3) --------------------------------
+
+// Movie schema table names.
+const (
+	TableMovies    = "movies"
+	TableReviews   = "reviews"
+	TableUsers     = "users"
+	TableMyReviews = "myreviews"
+)
+
+// MovieKey formats the Movies primary key (MId).
+func MovieKey(m int) string { return fmt.Sprintf("m%06d", m) }
+
+// ReviewKey formats the Reviews primary key (MId, UId) — reviews cluster
+// with their movie for W1 (§6.3).
+func ReviewKey(m, u int) string { return fmt.Sprintf("m%06d/u%06d", m, u) }
+
+// UserKey formats the Users primary key (UId).
+func UserKey(u int) string { return fmt.Sprintf("u%06d", u) }
+
+// MyReviewKey formats the MyReviews primary key (UId, MId) — a redundant
+// copy clustering a user's reviews for W4 (§6.3).
+func MyReviewKey(u, m int) string { return fmt.Sprintf("u%06d/m%06d", u, m) }
+
+// MovieTables lists the four tables of Figure 2.
+func MovieTables() []string {
+	return []string{TableMovies, TableReviews, TableUsers, TableMyReviews}
+}
+
+// MoviePlacement computes Figure 2's partitioning: Movies and Reviews are
+// partitioned by MId across movieDCs data components; Users and MyReviews
+// by UId across userDCs further components.
+type MoviePlacement struct {
+	MovieDCs int
+	UserDCs  int
+	Movies   int
+	Users    int
+}
+
+// Route implements the deployment routing function.
+func (p MoviePlacement) Route(table, key string) int {
+	switch table {
+	case TableMovies, TableReviews:
+		// key starts "m%06d"
+		return hashPrefix(key, 1, 7) % p.MovieDCs
+	default:
+		return p.MovieDCs + hashPrefix(key, 1, 7)%p.UserDCs
+	}
+}
+
+// OwnerTC maps a user to the updating TC responsible for it (Figure 2:
+// "TC1: responsible for UId mod 2 = 0; TC2: UId mod 2 = 1").
+func (p MoviePlacement) OwnerTC(user, updateTCs int) int { return user % updateTCs }
+
+func hashPrefix(key string, lo, hi int) int {
+	if hi > len(key) {
+		hi = len(key)
+	}
+	h := 0
+	for _, c := range key[lo:hi] {
+		h = h*10 + int(c-'0')
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

@@ -1,0 +1,83 @@
+// Package unbundled is a faithful implementation of "Unbundling
+// Transaction Services in the Cloud" (Lomet, Fekete, Weikum, Zwilling,
+// CIDR 2009): a database kernel factored into transactional components
+// (TCs — logical locking, logical undo/redo logging, transaction
+// atomicity and durability) and data components (DCs — access methods,
+// cache, stable storage, atomic idempotent record operations), interacting
+// at arm's length through a contract-governed message interface.
+//
+// Open a deployment, then run transactions against any of its TCs:
+//
+//	dep, err := unbundled.Open(unbundled.Options{
+//		TCs: 1, DCs: 2, Tables: []string{"kv"},
+//		Route: func(table, key string) int { ... },
+//	})
+//	...
+//	err = dep.TCs[0].RunTxn(false, func(x *unbundled.Txn) error {
+//		if err := x.Insert("kv", "hello", []byte("world")); err != nil {
+//			return err
+//		}
+//		v, ok, err := x.Read("kv", "hello")
+//		...
+//		return nil
+//	})
+//
+// Components fail independently: Deployment.CrashTC / CrashDC /
+// CrashAll inject the paper's §5.3 partial failures, and RecoverTC /
+// RecoverDC / RecoverAll run the corresponding restart protocols.
+package unbundled
+
+import (
+	"github.com/cidr09/unbundled/internal/buffer"
+	"github.com/cidr09/unbundled/internal/core"
+	"github.com/cidr09/unbundled/internal/dc"
+	"github.com/cidr09/unbundled/internal/tc"
+	"github.com/cidr09/unbundled/internal/wire"
+)
+
+// Re-exported types: the full API surface of a deployment.
+type (
+	// Deployment is a running unbundled kernel (N TCs sharing M DCs).
+	Deployment = core.Deployment
+	// Options configures Open.
+	Options = core.Options
+	// TCConfig customizes one transactional component.
+	TCConfig = tc.Config
+	// DCConfig customizes one data component.
+	DCConfig = dc.Config
+	// NetworkConfig interposes the misbehaving message fabric.
+	NetworkConfig = wire.Config
+	// TC is a transactional component.
+	TC = tc.TC
+	// DC is a data component.
+	DC = dc.DC
+	// Txn is a user transaction executing at a TC.
+	Txn = tc.Txn
+	// SyncStrategy selects the §5.1.2 page-sync algorithm.
+	SyncStrategy = buffer.SyncStrategy
+	// RangeProtocol selects the §3.1 range-locking strategy.
+	RangeProtocol = tc.RangeProtocol
+)
+
+// Page-sync strategies (§5.1.2).
+const (
+	SyncBlock  = buffer.SyncBlock
+	SyncFull   = buffer.SyncFull
+	SyncHybrid = buffer.SyncHybrid
+)
+
+// Range-locking protocols (§3.1).
+const (
+	FetchAhead  = tc.FetchAhead
+	StaticRange = tc.StaticRange
+)
+
+// Transaction-level errors.
+var (
+	ErrNotFound  = tc.ErrNotFound
+	ErrDuplicate = tc.ErrDuplicate
+	ErrTxnDone   = tc.ErrTxnDone
+)
+
+// Open builds and starts a deployment.
+func Open(opts Options) (*Deployment, error) { return core.New(opts) }
