@@ -11,6 +11,7 @@ package unbundled_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"github.com/cidr09/unbundled/internal/core"
 	"github.com/cidr09/unbundled/internal/dc"
@@ -85,6 +86,40 @@ func unbundledTxnBench(b *testing.B, net *wire.Config) {
 
 func BenchmarkE1TxnUnbundledDirect(b *testing.B) { unbundledTxnBench(b, nil) }
 func BenchmarkE1TxnUnbundledWire(b *testing.B)   { unbundledTxnBench(b, &wire.Config{}) }
+
+// pipelinedTxnBench measures multi-op write transactions over a wire with
+// real propagation delay, with operation shipping either synchronous (one
+// blocking round trip per op, the seed behaviour) or pipelined (async
+// writes, batched messages, commit-time ack barrier). Transactions are
+// versioned so upserts skip the existence pre-check — the configuration
+// where pipelining removes every per-op wait from the hot path.
+func pipelinedTxnBench(b *testing.B, pipeline bool) {
+	b.Helper()
+	dep, err := core.New(core.Options{
+		TCs: 1, DCs: 1, Tables: []string{"kv"},
+		TCConfig: func(int) tc.Config { return tc.Config{Pipeline: pipeline} },
+		Network:  &wire.Config{Delay: 200 * time.Microsecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dep.Close()
+	g := workload.KV{Keys: 4096, ReadFrac: 0, OpsPerTxn: 4, Seed: 1}.NewGen(0)
+	tcx := dep.TCs[0]
+	kvTxnBench(b, func(i int) error {
+		return tcx.RunTxn(true, func(x *tc.Txn) error {
+			for j := 0; j < g.OpsPerTxn(); j++ {
+				if err := x.Upsert("kv", g.Key(), g.Value()); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func BenchmarkE1TxnUnbundledWireDelay(b *testing.B) { pipelinedTxnBench(b, false) }
+func BenchmarkE1TxnUnbundledPipelined(b *testing.B) { pipelinedTxnBench(b, true) }
 
 // --- table experiments, one per figure/claim ---------------------------
 

@@ -1,0 +1,3 @@
+module github.com/cidr09/unbundled
+
+go 1.24

@@ -116,6 +116,14 @@ type Service interface {
 	// Perform executes one logical operation exactly once (resend +
 	// idempotence). It blocks until a reply is available.
 	Perform(op *Op) *Result
+	// PerformBatch executes a batch of logical operations in the given
+	// order, returning one result per operation, positionally. Batches are
+	// the unit of pipelined operation shipping: a TC coalesces queued
+	// operations headed to the same DC into one batch so a single message
+	// round trip acknowledges many operations. Each operation keeps its own
+	// LSN request ID, so resending a whole batch stays idempotent per
+	// operation. Like Perform, it blocks until all replies are available.
+	PerformBatch(ops []*Op) []*Result
 	// EndOfStableLog tells the DC that all operations with LSN <= eosl are
 	// stable in the TC log and will not be lost in a TC crash; causality
 	// then allows the DC to make such operations stable (write-ahead
@@ -263,6 +271,64 @@ func DecodeResult(buf []byte) (*Result, []byte, error) {
 		}
 	}
 	return &r, buf, nil
+}
+
+// batch framing -------------------------------------------------------------
+
+// AppendOpBatch serializes a batch of operations: a count followed by the
+// operations in shipping order.
+func AppendOpBatch(buf []byte, ops []*Op) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, o := range ops {
+		buf = AppendOp(buf, o)
+	}
+	return buf
+}
+
+// DecodeOpBatch parses a batch previously produced by AppendOpBatch.
+func DecodeOpBatch(buf []byte) ([]*Op, []byte, error) {
+	n, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(buf)) { // each op takes at least one byte
+		return nil, nil, errShort
+	}
+	ops := make([]*Op, n)
+	for i := range ops {
+		if ops[i], buf, err = DecodeOp(buf); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ops, buf, nil
+}
+
+// AppendResultBatch serializes the per-operation results of a batch.
+func AppendResultBatch(buf []byte, rs []*Result) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(rs)))
+	for _, r := range rs {
+		buf = AppendResult(buf, r)
+	}
+	return buf
+}
+
+// DecodeResultBatch parses a batch reply previously produced by
+// AppendResultBatch.
+func DecodeResultBatch(buf []byte) ([]*Result, []byte, error) {
+	n, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(buf)) { // each result takes at least one byte
+		return nil, nil, errShort
+	}
+	rs := make([]*Result, n)
+	for i := range rs {
+		if rs[i], buf, err = DecodeResult(buf); err != nil {
+			return nil, nil, err
+		}
+	}
+	return rs, buf, nil
 }
 
 // small codec helpers -------------------------------------------------------

@@ -48,6 +48,21 @@ func (d *DC) Perform(op *base.Op) *base.Result {
 	}
 }
 
+// PerformBatch implements base.Service: execute a batch of operations
+// sequentially in arrival order. Sequential execution is what makes the
+// pipelined shipping protocol sound: two operations of one transaction on
+// the same key arrive in one ordered stream per DC, so the DC never
+// reorders them (the cross-transaction case is excluded by the TC's
+// locks). Idempotence stays per-operation — a resent batch re-runs each
+// operation through the abstract-LSN test individually.
+func (d *DC) PerformBatch(ops []*base.Op) []*base.Result {
+	out := make([]*base.Result, len(ops))
+	for i, op := range ops {
+		out[i] = d.Perform(op)
+	}
+	return out
+}
+
 // read executes a point read. Reads do not mutate state and are not
 // tracked in abstract LSNs; resends simply re-execute.
 func (d *DC) read(tree *btree.Tree, op *base.Op) *base.Result {

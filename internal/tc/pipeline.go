@@ -1,0 +1,276 @@
+package tc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/cidr09/unbundled/internal/base"
+)
+
+// Pipelined operation shipping. Logged write operations do not need their
+// reply before the transaction continues: the X lock freezes the key, the
+// pre-check (or versioned-upsert semantics) guarantees the operation
+// succeeds at the DC, and the op record is already in the TC-log, so the
+// resend/redo contract delivers it even across failures. The TC therefore
+// appends the record, posts the op into the per-DC pipeline, and returns;
+// the transaction only waits at its commit (or abort/scan) barrier.
+//
+// Each DC has one shipping goroutine with exactly one batch in flight.
+// That discipline is what keeps the logical operation stream ordered per
+// DC: everything queued while the previous batch was on the wire is
+// coalesced into the next base.Service.PerformBatch call, which the DC
+// executes in arrival order. Same-key operations of one transaction always
+// route to the same DC, so they can never reorder; cross-transaction
+// conflicts are excluded by strict 2PL plus the ack barrier (locks are
+// only released once every shipped operation is acknowledged).
+
+// ErrTCStopped is recorded against outstanding pipelined operations when
+// the TC is closed or crashes before their acknowledgements arrive. The
+// operations themselves are in the TC-log: recovery re-delivers or undoes
+// them, so the error reports an interrupted session, not lost data.
+var ErrTCStopped = errors.New("tc: stopped with pipelined operations outstanding")
+
+// pending tracks one transaction's outstanding pipelined operations: a
+// count plus the first failure. Commit and Abort (and scans, for
+// read-your-writes) barrier on it before relying on DC state.
+type pending struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	outstanding int
+	err         error
+}
+
+func (p *pending) init() { p.cond = sync.NewCond(&p.mu) }
+
+func (p *pending) add() {
+	p.mu.Lock()
+	p.outstanding++
+	p.mu.Unlock()
+}
+
+// done retires one operation, recording the first failure.
+func (p *pending) done(err error) {
+	p.mu.Lock()
+	p.outstanding--
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	if p.outstanding == 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// wait blocks until every posted operation has been retired and returns
+// the first failure observed (sticky across calls).
+func (p *pending) wait() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.outstanding > 0 {
+		p.cond.Wait()
+	}
+	return p.err
+}
+
+// pipeItem is one queued operation plus its transaction's barrier and the
+// TC incarnation that posted it.
+type pipeItem struct {
+	op   *base.Op
+	pend *pending
+	gen  uint64
+}
+
+// pipeline is the per-DC shipping queue and its worker.
+type pipeline struct {
+	t *TC
+	h *dcHandle
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []pipeItem
+	closed bool
+}
+
+func newPipeline(t *TC, h *dcHandle) *pipeline {
+	p := &pipeline{t: t, h: h}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// post enqueues op for shipping. The caller has already added the op to
+// its transaction's pending barrier.
+func (p *pipeline) post(it pipeItem) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		it.pend.done(ErrTCStopped)
+		return
+	}
+	p.queue = append(p.queue, it)
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// close wakes the worker for shutdown. Queued, unshipped operations fail
+// with ErrTCStopped so barrier waiters unblock.
+func (p *pipeline) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// drop discards the queue (TC crash): the posting incarnation is gone and
+// its transactions will never commit. In-flight batches are handled by the
+// generation check in ship.
+func (p *pipeline) drop() {
+	p.mu.Lock()
+	q := p.queue
+	p.queue = nil
+	p.mu.Unlock()
+	for _, it := range q {
+		it.pend.done(ErrTCStopped)
+	}
+}
+
+func (p *pipeline) run() {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			q := p.queue
+			p.queue = nil
+			p.mu.Unlock()
+			for _, it := range q {
+				it.pend.done(ErrTCStopped)
+			}
+			return
+		}
+		batch := p.queue
+		if len(batch) > p.t.cfg.MaxBatch {
+			batch = batch[:p.t.cfg.MaxBatch]
+			p.queue = append([]pipeItem(nil), p.queue[p.t.cfg.MaxBatch:]...)
+		} else {
+			p.queue = nil
+		}
+		p.mu.Unlock()
+		p.ship(batch)
+	}
+}
+
+// ship sends one batch and retires its items. CodeUnavailable (the DC is
+// down or restarting) triggers a paced resend of the whole batch — the
+// §4.2 resend contract; per-operation idempotence at the DC absorbs
+// re-execution of operations that did land.
+func (p *pipeline) ship(items []pipeItem) {
+	ops := make([]*base.Op, 0, len(items))
+	backoff := 200 * time.Microsecond
+	for {
+		// Deliver only items posted by the live incarnation: a batch parked
+		// in this retry loop across a TC.Crash must not reach the DC after
+		// recovery — its records vanished with the unforced log tail, so
+		// executing it would apply writes no undo covers and record reused
+		// LSNs in the abstract-LSN tables (poisoning the restarted TC's
+		// idempotence checks). A crash racing the send itself leaves a
+		// narrow window where a stale batch is already on the wire; that
+		// window is inherent to LSN reuse and shared with the synchronous
+		// path's in-flight resends (closing it needs a DC-side incarnation
+		// epoch — see ROADMAP). The gen check in complete at least keeps
+		// such acks out of the reset tracker.
+		gen := p.t.pipeGen.Load()
+		live := 0
+		for _, it := range items {
+			if it.gen != gen {
+				it.pend.done(ErrTCStopped)
+				continue
+			}
+			items[live] = it
+			live++
+		}
+		items = items[:live]
+		if len(items) == 0 {
+			return
+		}
+		ops = ops[:0]
+		for _, it := range items {
+			ops = append(ops, it.op)
+		}
+		p.h.waitReady()
+		// Singleton batches are the service's concern: the wire stub
+		// already degrades them to a plain Perform message.
+		results := p.h.svc.PerformBatch(ops)
+		p.t.opsSent.Add(uint64(len(ops)))
+		unavailable := false
+		for _, r := range results {
+			if r == nil || r.Code == base.CodeUnavailable {
+				unavailable = true
+				break
+			}
+		}
+		if !unavailable {
+			p.complete(items, results)
+			return
+		}
+		// A closed wire client answers every call with CodeUnavailable
+		// forever; retrying would wedge commit barriers that its Close
+		// contract ("fail outstanding calls") promises to unblock. Probe
+		// for it so out-of-order shutdowns (stubs closed before the TC)
+		// still terminate; a plain recovering DC keeps the resend loop.
+		if c, ok := p.h.svc.(interface{ Closed() bool }); ok && c.Closed() {
+			for _, it := range items {
+				it.pend.done(ErrTCStopped)
+			}
+			return
+		}
+		select {
+		case <-p.t.stopCh:
+			for _, it := range items {
+				it.pend.done(ErrTCStopped)
+			}
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// complete feeds the ack tracker and retires the items. Items posted by a
+// prior TC incarnation (the TC crashed while the batch was on the wire)
+// must not touch the reset ack tracker: their LSN space is being reused.
+func (p *pipeline) complete(items []pipeItem, results []*base.Result) {
+	gen := p.t.pipeGen.Load()
+	for i, it := range items {
+		res := results[i]
+		var err error
+		if it.gen != gen {
+			err = ErrTCStopped
+		} else {
+			p.t.acks.Complete(it.op.LSN)
+			if res.Code != base.CodeOK {
+				// Cannot happen given the pre-check + X-lock invariant;
+				// surface loudly at the barrier if it is ever broken.
+				err = fmt.Errorf("tc: pipelined op failed at DC: %v -> %v", it.op, res.Code)
+			}
+		}
+		it.pend.done(err)
+	}
+}
+
+// postOp routes op to its DC pipeline on behalf of x. gen must have been
+// read from pipeGen *before* the op's LSN was assigned: a Crash racing the
+// post bumps the generation first, so an op whose LSN belongs to the dead
+// incarnation's log can never carry the new generation and feed its ack
+// into the reset tracker under a reused LSN.
+func (t *TC) postOp(x *Txn, op *base.Op, gen uint64) {
+	x.pend.add()
+	t.pipes[t.route(op.Table, op.Key)].post(pipeItem{op: op, pend: &x.pend, gen: gen})
+}
+
+// pipelined reports whether writes ship asynchronously.
+func (t *TC) pipelined() bool { return t.pipes != nil }

@@ -10,10 +10,16 @@ import (
 )
 
 // Crash simulates a TC process failure: the log buffer (unforced tail),
-// lock table, transaction table, and ack bookkeeping vanish. The stable
-// log survives. LSNs above the stable end will be reused by the restarted
-// incarnation — the DC-side reset protocol (§5.3.2) makes that safe.
+// lock table, transaction table, ack bookkeeping, and queued pipeline
+// operations vanish. The stable log survives. LSNs above the stable end
+// will be reused by the restarted incarnation — the DC-side reset protocol
+// (§5.3.2) makes that safe; bumping pipeGen first keeps batches already on
+// the wire from feeding acks into the reset tracker under reused LSNs.
 func (t *TC) Crash() {
+	t.pipeGen.Add(1)
+	for _, p := range t.pipes {
+		p.drop()
+	}
 	t.mu.Lock()
 	t.down = true
 	t.txns = make(map[base.TxnID]*Txn)
@@ -127,7 +133,8 @@ func (t *TC) Recover() error {
 	// --- undo losers with inverse operations (multi-level undo) ---
 	for txnID, l := range losers {
 		t.undoChain(txnID, l.lastLSN)
-		t.log.AppendAssign(&wal.Record{Kind: recAbort, Txn: txnID, Prev: l.lastLSN})
+		aLSN := t.log.AppendAssign(&wal.Record{Kind: recAbort, Txn: txnID, Prev: l.lastLSN})
+		t.acks.Complete(aLSN) // local record: no DC round trip
 	}
 
 	// --- re-finalize winners' versioned writes (§6.2.2: before versions
@@ -167,6 +174,12 @@ func (t *TC) RecoverDC(idx int) error {
 	h.setRecovering(true)
 	defer h.setRecovering(false)
 
+	// Scan only sees the stable log, but operations whose replies already
+	// arrived may still sit in the unforced tail (always possible with
+	// pipelining, where an op is acknowledged long before any force).
+	// Force first so the redo stream covers every operation the DC might
+	// have lost from its cache.
+	t.log.Force()
 	t.mu.Lock()
 	rssp := t.rssp
 	t.mu.Unlock()

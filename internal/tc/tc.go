@@ -10,6 +10,11 @@
 // *before* an operation is sent guarantees the DC never sees conflicting
 // operations concurrently, which in turn makes the TC-log's LSN order an
 // order-preserving serialization of the logical operation history.
+//
+// With Config.Pipeline, logged writes ship asynchronously through per-DC
+// pipelines (see pipeline.go): the transaction continues as soon as the op
+// record is appended, and its commit barriers on the outstanding acks
+// before releasing locks.
 package tc
 
 import (
@@ -72,6 +77,17 @@ type Config struct {
 	WatermarkInterval time.Duration
 	// ForceDelay simulates stable-log force latency (group commit).
 	ForceDelay time.Duration
+	// Pipeline ships logged writes asynchronously: Insert/Update/Upsert/
+	// Delete append their op record, post the op into the per-DC pipeline,
+	// and return without waiting for the DC reply. Commit overlaps the
+	// commit-record force with draining the transaction's outstanding acks
+	// and releases locks only after both complete, so strict 2PL semantics
+	// are preserved while transaction latency drops from ops x RTT to
+	// roughly one RTT per batch.
+	Pipeline bool
+	// MaxBatch caps the operations coalesced into one shipped batch
+	// message (default 64).
+	MaxBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WatermarkInterval <= 0 {
 		c.WatermarkInterval = time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
 	}
 	return c
 }
@@ -150,6 +169,14 @@ type TC struct {
 
 	acks *ackTracker
 
+	// pipes are the per-DC shipping pipelines (nil unless cfg.Pipeline).
+	// pipeGen numbers TC incarnations (bumped by every Crash, pipelined or
+	// not) so calls in flight across a crash — batches or synchronous
+	// performs — cannot feed the reset ack tracker (their LSN space is
+	// reused by the restarted incarnation).
+	pipes   []*pipeline
+	pipeGen atomic.Uint64
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
@@ -196,6 +223,16 @@ func New(cfg Config, dcs []base.Service, route func(table, key string) int) (*TC
 	for _, svc := range dcs {
 		t.dcs = append(t.dcs, newDCHandle(svc))
 	}
+	if cfg.Pipeline {
+		// Workers exit on Close but are not waited for: one can be blocked
+		// inside a wire call that only unblocks when the deployment closes
+		// the client stubs afterwards.
+		for _, h := range t.dcs {
+			p := newPipeline(t, h)
+			t.pipes = append(t.pipes, p)
+			go p.run()
+		}
+	}
 	t.wg.Add(1)
 	go t.watermarkLoop()
 	return t, nil
@@ -239,8 +276,15 @@ func (t *TC) SetPartition(table string, p lockmgr.Partition) {
 }
 
 // Close stops background work (the TC stays usable for reads of state).
+// Queued pipelined operations fail with ErrTCStopped so their commit
+// barriers unblock; an operation already inside a wire call against a
+// down DC unblocks only once that client stub is closed too — close the
+// TC first and then the stubs, as core.Deployment.Close does.
 func (t *TC) Close() {
 	t.stopOnce.Do(func() { close(t.stopCh) })
+	for _, p := range t.pipes {
+		p.close()
+	}
 	t.wg.Wait()
 }
 
@@ -281,13 +325,20 @@ func (t *TC) isDown() bool {
 }
 
 // perform routes and sends one operation, waiting for the reply, and feeds
-// the ack tracker (the source of low-water marks).
+// the ack tracker (the source of low-water marks). Like the pipeline's
+// complete, the ack is generation-fenced: a zombie call whose reply lands
+// after a Crash+Recover must not complete an LSN the new incarnation is
+// reusing (the lsn <= lwm guard in the tracker only covers the at-or-
+// below-reset-base half of that race).
 func (t *TC) perform(op *base.Op) *base.Result {
+	gen := t.pipeGen.Load()
 	h := t.dcs[t.route(op.Table, op.Key)]
 	h.waitReady()
 	t.opsSent.Add(1)
 	res := h.svc.Perform(op)
-	t.acks.Complete(op.LSN)
+	if gen == t.pipeGen.Load() {
+		t.acks.Complete(op.LSN)
+	}
 	return res
 }
 
@@ -322,7 +373,8 @@ func (t *TC) Checkpoint() (base.LSN, error) {
 	oldest := t.oldestActiveFirstLSNLocked()
 	t.mu.Unlock()
 
-	t.log.AppendAssign(&wal.Record{Kind: recCheckpoint, Payload: encodeCheckpoint(newRSSP)})
+	ckptLSN := t.log.AppendAssign(&wal.Record{Kind: recCheckpoint, Payload: encodeCheckpoint(newRSSP)})
+	t.acks.Complete(ckptLSN) // local record: no DC round trip
 	t.log.Force()
 	// Truncate below both the RSSP (redo needs nothing older) and the
 	// oldest active transaction's first record (undo might).
@@ -374,9 +426,14 @@ func newAckTracker() *ackTracker {
 	return &ackTracker{done: make(map[base.LSN]struct{})}
 }
 
-// Complete marks lsn done and advances the contiguous prefix.
+// Complete marks lsn done and advances the contiguous prefix. Completions
+// at or below the mark (stale acks racing a restart's Reset) are ignored.
 func (a *ackTracker) Complete(lsn base.LSN) {
 	a.mu.Lock()
+	if lsn <= a.lwm {
+		a.mu.Unlock()
+		return
+	}
 	a.done[lsn] = struct{}{}
 	for {
 		if _, ok := a.done[a.lwm+1]; !ok {

@@ -460,6 +460,48 @@ func TestCheckpointAdvancesAndBoundsRedo(t *testing.T) {
 	}
 }
 
+func TestCheckpointAdvancesPastLocalRecords(t *testing.T) {
+	// Abort and checkpoint records consume LSNs with no DC round trip;
+	// they must feed the ack tracker like commit records do, or the first
+	// abort (or checkpoint) freezes the low-water mark and the RSSP can
+	// never advance again.
+	tcx, _ := newPair(t, Config{})
+	x := tcx.Begin(false)
+	if err := x.Insert("t", "doomed", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := tcx.RunTxn(false, func(x *Txn) error {
+			return x.Insert("t", fmt.Sprintf("k%d", i), []byte("v"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, err := tcx.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 <= 1 {
+		t.Fatalf("rssp stuck at %d after abort", r1)
+	}
+	// A second round: the checkpoint record itself must not pin the LWM.
+	if err := tcx.RunTxn(false, func(x *Txn) error {
+		return x.Insert("t", "more", []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tcx.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 <= r1 {
+		t.Fatalf("rssp did not advance past checkpoint record: %d -> %d", r1, r2)
+	}
+}
+
 func TestBothCrash(t *testing.T) {
 	tcx, d := newPair(t, Config{})
 	if err := tcx.RunTxn(false, func(x *Txn) error {

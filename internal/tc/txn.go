@@ -56,6 +56,11 @@ type Txn struct {
 	// useVersions makes writes create before versions (§6.2.2), enabling
 	// cross-TC read-committed readers and cheap undo.
 	useVersions bool
+	// pend is the barrier over this transaction's pipelined operations:
+	// writes posted into the per-DC pipelines complete here, and Commit/
+	// Abort (and scans, for read-your-writes) wait on it before relying on
+	// DC state. Unused (always empty) when pipelining is off.
+	pend pending
 }
 
 // Begin starts a transaction. With versioned=true, writes keep before
@@ -66,6 +71,7 @@ func (t *TC) Begin(versioned bool) *Txn {
 	t.nextTxn++
 	id := base.TxnID(t.nextTxn)
 	x := &Txn{tc: t, id: id, cache: make(map[tableKey]cachedVal), useVersions: versioned}
+	x.pend.init()
 	if versioned {
 		x.versioned = make(map[tableKey]struct{})
 	}
@@ -159,6 +165,9 @@ func (x *Txn) ReadCommitted(table, key string) ([]byte, bool, error) {
 	if x.state != txnActive {
 		return nil, false, ErrTxnDone
 	}
+	if err := x.drain(); err != nil {
+		return nil, false, err
+	}
 	return x.readOp(table, key, base.ReadCommitted, false)
 }
 
@@ -168,7 +177,21 @@ func (x *Txn) ReadDirty(table, key string) ([]byte, bool, error) {
 	if x.state != txnActive {
 		return nil, false, ErrTxnDone
 	}
+	if err := x.drain(); err != nil {
+		return nil, false, err
+	}
 	return x.readOp(table, key, base.ReadDirty, false)
+}
+
+// drain waits out this transaction's pipelined writes before an operation
+// that must observe them at the DC (scans and unlocked reads bypass the
+// transaction cache, so read-your-writes needs the queue empty). Point
+// reads never need it: every pipelined write is recorded in the cache.
+func (x *Txn) drain() error {
+	if !x.tc.pipelined() {
+		return nil
+	}
+	return x.pend.wait()
 }
 
 // valueOf returns the current value under an already-held X lock, going to
@@ -202,7 +225,9 @@ func (x *Txn) Delete(table, key string) error {
 
 // write implements all mutations: X lock, undo capture, logical redo+undo
 // logging *before* the send (so the TC-log order is an OPSR order), then
-// the operation itself.
+// the operation itself — shipped synchronously, or posted into the per-DC
+// pipeline when cfg.Pipeline is on (the pre-check + X-lock invariant
+// guarantees the outcome, so nothing needs the reply before commit).
 func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
 	if x.state != txnActive {
 		return ErrTxnDone
@@ -233,23 +258,34 @@ func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
 		}
 		prior, priorFound = p, true
 	case base.OpUpsert:
-		p, found, err := x.valueOf(table, key)
-		if err != nil {
-			return err
+		// Versioned upserts need no pre-check: the DC keeps the before
+		// version, the inverse is abort-versions (no prior needed), and
+		// upsert semantics do not depend on prior existence. This saves
+		// the read round trip that would otherwise gate the pipeline.
+		if !x.useVersions {
+			p, found, err := x.valueOf(table, key)
+			if err != nil {
+				return err
+			}
+			prior, priorFound = p, found
 		}
-		prior, priorFound = p, found
 	}
 	op := &base.Op{TC: x.tc.cfg.ID, Kind: kind, Table: table, Key: key,
 		Value: val, Versioned: x.useVersions}
 	rec := &wal.Record{Kind: recOp, Txn: x.id, Prev: x.lastLSN,
 		Payload: encodeOpPayload(op, prior, priorFound)}
+	gen := x.tc.pipeGen.Load() // before the LSN assignment; see postOp
 	lsn := x.tc.log.AppendAssign(rec)
 	op.LSN = lsn
-	res := x.tc.perform(op)
-	if res.Code != base.CodeOK {
-		// Cannot happen given the pre-checks (the lock freezes the key);
-		// surface loudly if the invariant is ever broken.
-		return fmt.Errorf("tc: logged op failed at DC: %v -> %v", op, res.Code)
+	if x.tc.pipelined() {
+		x.tc.postOp(x, op, gen)
+	} else {
+		res := x.tc.perform(op)
+		if res.Code != base.CodeOK {
+			// Cannot happen given the pre-checks (the lock freezes the key);
+			// surface loudly if the invariant is ever broken.
+			return fmt.Errorf("tc: logged op failed at DC: %v -> %v", op, res.Code)
+		}
 	}
 	if x.firstLSN == 0 {
 		x.firstLSN = lsn
@@ -271,6 +307,15 @@ func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
 // record (group commit), finalize versioned writes (§6.2.2 — removing the
 // before versions; non-blocking for readers, no two-phase commit), then
 // release locks (strict two-phase locking).
+//
+// With pipelining on, the commit-record force overlaps draining the
+// transaction's outstanding DC acks — the two waits proceed concurrently —
+// and locks are released only after both (plus the finalize barrier for
+// versioned writes) complete, so no other transaction can observe a
+// not-yet-applied write. A barrier failure (the TC was closed or crashed
+// underneath a committing transaction) is reported, but the commit record
+// is already durable: restart treats the transaction as a winner and
+// re-delivers its logged operations.
 func (x *Txn) Commit() error {
 	if x.state != txnActive {
 		return ErrTxnDone
@@ -284,15 +329,33 @@ func (x *Txn) Commit() error {
 		Payload: encodeCommit(vkeys)}
 	cLSN := t.log.AppendAssign(rec)
 	t.acks.Complete(cLSN) // local record: no DC round trip
-	t.log.ForceTo(cLSN)
+	var barrierErr error
+	if t.pipelined() {
+		forced := make(chan struct{})
+		go func() {
+			t.log.ForceTo(cLSN)
+			close(forced)
+		}()
+		barrierErr = x.pend.wait()
+		<-forced
+	} else {
+		t.log.ForceTo(cLSN)
+	}
 	// Push the new stable boundary to the DCs promptly: cached pages with
 	// this transaction's operations become flushable (causality).
 	t.broadcastWatermarks()
 	// §6.2.2: "When an updating TC commits the transaction, it sends
 	// updates to the DC to eliminate the before versions." These are
-	// logged so restart re-delivers them for winners.
+	// logged so restart re-delivers them for winners. Pipelined, they ride
+	// the same per-DC queues (ordered after the writes they finalize) and
+	// are drained before lock release.
 	for _, tk := range vkeys {
 		x.finalizeOp(base.OpCommitVersions, tk)
+	}
+	if t.pipelined() {
+		if err := x.pend.wait(); err != nil && barrierErr == nil {
+			barrierErr = err
+		}
 	}
 	x.state = txnCommitted
 	t.locks.ReleaseAll(x.id)
@@ -300,6 +363,9 @@ func (x *Txn) Commit() error {
 	delete(t.txns, x.id)
 	t.mu.Unlock()
 	t.commits.Add(1)
+	if barrierErr != nil {
+		return fmt.Errorf("tc: commit barrier for txn %d: %w", x.id, barrierErr)
+	}
 	return nil
 }
 
@@ -308,14 +374,20 @@ func (x *Txn) finalizeOp(kind base.OpKind, tk tableKey) {
 	op := &base.Op{TC: t.cfg.ID, Kind: kind, Table: tk.table, Key: tk.key}
 	rec := &wal.Record{Kind: recOp, Txn: x.id, Prev: 0,
 		Payload: encodeOpPayload(op, nil, false)}
+	gen := t.pipeGen.Load() // before the LSN assignment; see postOp
 	op.LSN = t.log.AppendAssign(rec)
-	t.perform(op)
+	if t.pipelined() {
+		t.postOp(x, op, gen)
+	} else {
+		t.perform(op)
+	}
 }
 
 // Abort rolls the transaction back: walk the undo chain in reverse
 // chronological order, sending inverse logical operations (logged as
 // compensation records so restart never undoes twice), then release locks
-// (§4.1.1(2b)).
+// (§4.1.1(2b)). Outstanding pipelined writes are drained first so an
+// inverse can never overtake the forward operation it undoes.
 func (x *Txn) Abort() error {
 	if x.state != txnActive {
 		if x.state == txnAborted {
@@ -324,8 +396,10 @@ func (x *Txn) Abort() error {
 		return ErrTxnDone
 	}
 	t := x.tc
+	_ = x.pend.wait() // barrier failures still leave the log authoritative
 	t.undoChain(x.id, x.lastLSN)
-	t.log.AppendAssign(&wal.Record{Kind: recAbort, Txn: x.id, Prev: x.lastLSN})
+	aLSN := t.log.AppendAssign(&wal.Record{Kind: recAbort, Txn: x.id, Prev: x.lastLSN})
+	t.acks.Complete(aLSN) // local record: no DC round trip
 	x.state = txnAborted
 	t.locks.ReleaseAll(x.id)
 	t.mu.Lock()
@@ -401,6 +475,9 @@ func (x *Txn) Scan(table, lo, hi string, limit int) (keys []string, vals [][]byt
 	if x.state != txnActive {
 		return nil, nil, ErrTxnDone
 	}
+	if err := x.drain(); err != nil {
+		return nil, nil, err
+	}
 	if x.tc.cfg.Protocol == StaticRange {
 		for _, b := range x.tc.Partition(table).Overlapping(lo, hi) {
 			if err := x.tc.locks.Lock(x.id, lockmgr.RangeRes(table, b), lockmgr.S); err != nil {
@@ -475,6 +552,9 @@ func (x *Txn) ScanCommitted(table, lo, hi string, limit int) ([]string, [][]byte
 	if x.state != txnActive {
 		return nil, nil, ErrTxnDone
 	}
+	if err := x.drain(); err != nil {
+		return nil, nil, err
+	}
 	res := x.rangeOp(table, lo, hi, limit, base.ReadCommitted)
 	if err := res.Err(); err != nil {
 		return nil, nil, err
@@ -486,6 +566,9 @@ func (x *Txn) ScanCommitted(table, lo, hi string, limit int) ([]string, [][]byte
 func (x *Txn) ScanDirty(table, lo, hi string, limit int) ([]string, [][]byte, error) {
 	if x.state != txnActive {
 		return nil, nil, ErrTxnDone
+	}
+	if err := x.drain(); err != nil {
+		return nil, nil, err
 	}
 	res := x.rangeOp(table, lo, hi, limit, base.ReadDirty)
 	if err := res.Err(); err != nil {

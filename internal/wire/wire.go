@@ -8,6 +8,9 @@
 //
 // Operations and results cross the wire in their binary encodings, so the
 // serialization cost the paper's unbundling implies is actually paid.
+// Pipelined senders ship whole batches of operations in one message
+// (msgPerformBatch) with per-operation results in the reply, amortizing a
+// round trip over many operations while preserving arrival order at the DC.
 package wire
 
 import (
@@ -60,16 +63,21 @@ type Stats struct {
 // Network is a collection of links sharing one misbehaviour configuration.
 type Network struct {
 	cfg Config
+	// misbehaves caches whether any RNG-driven misbehaviour is configured;
+	// a well-behaved (possibly delayed) network skips the RNG entirely.
+	misbehaves bool
 
-	mu  sync.Mutex
-	rnd *rand.Rand
+	// epSeq numbers endpoints so each can derive a deterministic RNG seed
+	// without sharing (and contending on) one network-global RNG.
+	epSeq atomic.Uint64
 
 	sent, delivered, dropped, duplicated, bytes, resends atomic.Uint64
 }
 
 // NewNetwork returns a network with the given configuration.
 func NewNetwork(cfg Config) *Network {
-	return &Network{cfg: cfg, rnd: rand.New(rand.NewSource(cfg.Seed + 1))}
+	return &Network{cfg: cfg,
+		misbehaves: cfg.LossProb > 0 || cfg.DupProb > 0 || cfg.Jitter > 0}
 }
 
 // Stats returns a snapshot of traffic counters.
@@ -88,6 +96,7 @@ type msgKind uint8
 
 const (
 	msgPerform msgKind = iota + 1
+	msgPerformBatch
 	msgEOSL
 	msgLWM
 	msgCheckpoint
@@ -108,17 +117,22 @@ type message struct {
 func (m *message) size() int { return 24 + len(m.body) + len(m.err) }
 
 // deliver schedules msg into dst applying delay/jitter/loss/duplication.
+// The misbehaviour RNG is per destination endpoint, so concurrent senders
+// on a busy deployment do not serialize on one network-global mutex.
 func (n *Network) deliver(dst *endpoint, m *message) {
 	n.sent.Add(1)
 	n.bytes.Add(uint64(m.size()))
-	n.mu.Lock()
-	drop := n.rnd.Float64() < n.cfg.LossProb
-	dup := n.rnd.Float64() < n.cfg.DupProb
+	var drop, dup bool
 	var jitter time.Duration
-	if n.cfg.Jitter > 0 {
-		jitter = time.Duration(n.rnd.Int63n(int64(n.cfg.Jitter)))
+	if n.misbehaves {
+		dst.rmu.Lock()
+		drop = dst.rnd.Float64() < n.cfg.LossProb
+		dup = dst.rnd.Float64() < n.cfg.DupProb
+		if n.cfg.Jitter > 0 {
+			jitter = time.Duration(dst.rnd.Int63n(int64(n.cfg.Jitter)))
+		}
+		dst.rmu.Unlock()
 	}
-	n.mu.Unlock()
 	if drop {
 		n.dropped.Add(1)
 		return
@@ -138,16 +152,25 @@ func (n *Network) deliver(dst *endpoint, m *message) {
 	}
 }
 
-// endpoint is one side of a link: an inbox plus a down flag.
+// endpoint is one side of a link: an inbox plus a down flag and the
+// link-local misbehaviour RNG.
 type endpoint struct {
 	inbox chan *message
 	down  atomic.Bool
 	once  sync.Once
 	close chan struct{}
+
+	rmu sync.Mutex
+	rnd *rand.Rand
 }
 
-func newEndpoint() *endpoint {
-	return &endpoint{inbox: make(chan *message, 8192), close: make(chan struct{})}
+func (n *Network) newEndpoint() *endpoint {
+	seq := int64(n.epSeq.Add(1))
+	return &endpoint{
+		inbox: make(chan *message, 8192),
+		close: make(chan struct{}),
+		rnd:   rand.New(rand.NewSource(n.cfg.Seed + seq*104729 + 1)),
+	}
 }
 
 func (e *endpoint) push(n *Network, m *message) {
@@ -172,8 +195,8 @@ func (e *endpoint) shutdown() { e.once.Do(func() { close(e.close) }) }
 // svc; Perform requests run in their own goroutines, matching the paper's
 // multi-threaded DC. Close the returned pair to stop the pumps.
 func (n *Network) Connect(svc base.Service) (*Client, *Server) {
-	toServer := newEndpoint()
-	toClient := newEndpoint()
+	toServer := n.newEndpoint()
+	toClient := n.newEndpoint()
 	srv := &Server{net: n, svc: svc, in: toServer, out: toClient}
 	cl := &Client{net: n, in: toClient, out: toServer,
 		waiters: make(map[uint64]chan *message)}
@@ -209,6 +232,8 @@ func (s *Server) run() {
 			switch m.kind {
 			case msgPerform:
 				go s.perform(m)
+			case msgPerformBatch:
+				go s.performBatch(m)
 			case msgEOSL:
 				s.svc.EndOfStableLog(m.tc, m.lsn)
 			case msgLWM:
@@ -231,7 +256,35 @@ func (s *Server) perform(m *message) {
 		return
 	}
 	res := s.svc.Perform(op)
-	s.net.deliver(s.out, &message{kind: msgReply, id: m.id, body: base.AppendResult(nil, res)})
+	s.net.deliver(s.out, &message{kind: msgReply, id: m.id, body: base.AppendResult(getReplyBuf(), res)})
+}
+
+func (s *Server) performBatch(m *message) {
+	ops, _, err := base.DecodeOpBatch(m.body)
+	if err != nil {
+		s.net.deliver(s.out, &message{kind: msgReply, id: m.id, err: err.Error()})
+		return
+	}
+	rs := s.svc.PerformBatch(ops)
+	s.net.deliver(s.out, &message{kind: msgReply, id: m.id, body: base.AppendResultBatch(getReplyBuf(), rs)})
+}
+
+// Reply bodies are encoded into pooled buffers: a reply is consumed by
+// exactly one call() return (duplicate deliveries land in the inbox but
+// their bodies are never read once the waiter is gone or full), so the
+// consumer can recycle the buffer right after decoding. Request bodies are
+// deliberately NOT pooled — resends and delayed duplicate deliveries share
+// one request slice whose last reader cannot be identified cheaply.
+var replyBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+const maxPooledBuf = 1 << 16
+
+func getReplyBuf() []byte { return (*replyBufPool.Get().(*[]byte))[:0] }
+
+func putReplyBuf(b []byte) {
+	if cap(b) > 0 && cap(b) <= maxPooledBuf {
+		replyBufPool.Put(&b)
+	}
 }
 
 func (s *Server) control(m *message, f func() error) {
@@ -253,7 +306,10 @@ type Client struct {
 	nextID  atomic.Uint64
 }
 
-// Close stops the client pump and fails outstanding calls.
+// Close stops the client pump and fails outstanding calls: every blocked
+// Perform/PerformBatch caller — whether waiting on a reply, mid-resend, or
+// pausing out a recovering DC — unblocks promptly with CodeUnavailable,
+// and blocked control calls return an error.
 func (c *Client) Close() {
 	c.in.shutdown()
 }
@@ -261,6 +317,18 @@ func (c *Client) Close() {
 // SetDown marks the client (TC process) up or down; a down client drops
 // inbound replies, as a crashed TC would.
 func (c *Client) SetDown(down bool) { c.in.down.Store(down) }
+
+// Closed reports whether Close has been called. Callers with their own
+// retry loops (the TC's pipelines) use it to stop resending through a
+// stub whose every reply will be CodeUnavailable.
+func (c *Client) Closed() bool {
+	select {
+	case <-c.in.close:
+		return true
+	default:
+		return false
+	}
+}
 
 func (c *Client) run() {
 	for {
@@ -334,15 +402,75 @@ func (c *Client) Perform(op *base.Op) *base.Result {
 			return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
 		}
 		res, _, err := base.DecodeResult(reply.body)
+		putReplyBuf(reply.body)
 		if err != nil {
 			return &base.Result{LSN: op.LSN, Code: base.CodeBadRequest}
 		}
 		if res.Code == base.CodeUnavailable {
-			// DC up but still recovering; retry after a pause.
-			time.Sleep(c.net.cfg.resendAfter())
+			// DC up but still recovering; retry after a pause (which a
+			// concurrent Close cuts short).
+			if !c.pause() {
+				return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
+			}
 			continue
 		}
 		return res
+	}
+}
+
+// PerformBatch implements base.Service: one message carries the whole
+// batch, one reply carries the per-operation results. A reply containing
+// any CodeUnavailable result (the DC was down or recovering) triggers a
+// resend of the whole batch — per-operation idempotence absorbs the
+// re-execution of operations that did land.
+func (c *Client) PerformBatch(ops []*base.Op) []*base.Result {
+	if len(ops) == 1 {
+		return []*base.Result{c.Perform(ops[0])}
+	}
+	body := base.AppendOpBatch(nil, ops)
+	fail := func(code base.Code) []*base.Result {
+		rs := make([]*base.Result, len(ops))
+		for i, op := range ops {
+			rs[i] = &base.Result{LSN: op.LSN, Code: code}
+		}
+		return rs
+	}
+	for {
+		reply := c.call(msgPerformBatch, ops[0].TC, ops[0].LSN, body)
+		if reply.err != "" {
+			return fail(base.CodeUnavailable)
+		}
+		rs, _, err := base.DecodeResultBatch(reply.body)
+		putReplyBuf(reply.body)
+		if err != nil || len(rs) != len(ops) {
+			return fail(base.CodeBadRequest)
+		}
+		unavailable := false
+		for _, r := range rs {
+			if r.Code == base.CodeUnavailable {
+				unavailable = true
+				break
+			}
+		}
+		if !unavailable {
+			return rs
+		}
+		if !c.pause() {
+			return fail(base.CodeUnavailable)
+		}
+	}
+}
+
+// pause sleeps one resend interval before retrying a recovering DC; it
+// returns false when the client is closed during the wait.
+func (c *Client) pause() bool {
+	timer := time.NewTimer(c.net.cfg.resendAfter())
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-c.in.close:
+		return false
 	}
 }
 

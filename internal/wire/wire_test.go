@@ -36,6 +36,14 @@ func (s *echoService) Perform(op *base.Op) *base.Result {
 		Value: []byte(op.Key), Applied: s.applied[op.LSN] > 1}
 }
 
+func (s *echoService) PerformBatch(ops []*base.Op) []*base.Result {
+	out := make([]*base.Result, len(ops))
+	for i, op := range ops {
+		out[i] = s.Perform(op)
+	}
+	return out
+}
+
 func (s *echoService) EndOfStableLog(tc base.TCID, eosl base.LSN) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -230,6 +238,129 @@ func TestClientCloseUnblocksPerform(t *testing.T) {
 		}
 	case <-time.After(time.Second):
 		t.Fatal("Perform hung after client close")
+	}
+}
+
+func TestPerformBatchRoundTrip(t *testing.T) {
+	n := NewNetwork(Config{})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+
+	ops := []*base.Op{
+		{TC: 1, LSN: 10, Kind: base.OpUpsert, Table: "t", Key: "a"},
+		{TC: 1, LSN: 11, Kind: base.OpUpsert, Table: "t", Key: "b"},
+		{TC: 1, LSN: 12, Kind: base.OpUpsert, Table: "t", Key: "c"},
+	}
+	rs := cl.PerformBatch(ops)
+	if len(rs) != len(ops) {
+		t.Fatalf("got %d results for %d ops", len(rs), len(ops))
+	}
+	for i, r := range rs {
+		if r.Code != base.CodeOK || r.LSN != ops[i].LSN || string(r.Value) != ops[i].Key {
+			t.Fatalf("result %d = %+v for op %+v", i, r, ops[i])
+		}
+	}
+}
+
+func TestPerformBatchLossyNetwork(t *testing.T) {
+	n := NewNetwork(Config{LossProb: 0.3, DupProb: 0.2, Jitter: 300 * time.Microsecond,
+		ResendAfter: 2 * time.Millisecond, Seed: 11})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for b := 0; b < 20; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			ops := make([]*base.Op, 10)
+			for i := range ops {
+				ops[i] = &base.Op{TC: 1, LSN: base.LSN(b*10 + i + 1),
+					Kind: base.OpUpsert, Table: "t", Key: fmt.Sprintf("k%d-%d", b, i)}
+			}
+			rs := cl.PerformBatch(ops)
+			for i, r := range rs {
+				if r.Code != base.CodeOK || r.LSN != ops[i].LSN {
+					t.Errorf("batch %d result %d = %+v", b, i, r)
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	for i := 1; i <= 200; i++ {
+		if svc.applied[base.LSN(i)] == 0 {
+			t.Fatalf("batched op %d never delivered", i)
+		}
+	}
+}
+
+func TestClientCloseDuringResendUnblocksPerform(t *testing.T) {
+	// Close while the call is parked in the resend loop against a dead
+	// server: the documented "fail outstanding calls" contract.
+	n := NewNetwork(Config{ResendAfter: 5 * time.Millisecond})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer srv.Close()
+	srv.SetDown(true)
+
+	done := make(chan *base.Result, 2)
+	go func() {
+		done <- cl.Perform(&base.Op{TC: 1, LSN: 1, Kind: base.OpUpsert, Table: "t", Key: "k"})
+	}()
+	go func() {
+		rs := cl.PerformBatch([]*base.Op{
+			{TC: 1, LSN: 2, Kind: base.OpUpsert, Table: "t", Key: "a"},
+			{TC: 1, LSN: 3, Kind: base.OpUpsert, Table: "t", Key: "b"},
+		})
+		done <- rs[0]
+	}()
+	time.Sleep(12 * time.Millisecond) // let both enter the resend loop
+	cl.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case res := <-done:
+			if res.Code != base.CodeUnavailable {
+				t.Fatalf("res = %+v", res)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("call hung after client close mid-resend")
+		}
+	}
+}
+
+func TestClientCloseDuringUnavailableRetryUnblocks(t *testing.T) {
+	// The DC answers CodeUnavailable (up but recovering), which parks
+	// Perform in its retry pause; Close must cut the pause short instead
+	// of letting the caller sleep through another resend interval.
+	n := NewNetwork(Config{ResendAfter: 500 * time.Millisecond})
+	svc := newEchoService()
+	svc.unavail.Store(true)
+	cl, srv := n.Connect(svc)
+	defer srv.Close()
+
+	done := make(chan *base.Result, 1)
+	go func() {
+		done <- cl.Perform(&base.Op{TC: 1, LSN: 5, Kind: base.OpUpsert, Table: "t", Key: "k"})
+	}()
+	time.Sleep(20 * time.Millisecond) // reply with Unavailable arrives; retry pause begins
+	start := time.Now()
+	cl.Close()
+	select {
+	case res := <-done:
+		if res.Code != base.CodeUnavailable {
+			t.Fatalf("res = %+v", res)
+		}
+		if time.Since(start) > 250*time.Millisecond {
+			t.Fatalf("close did not cut the retry pause short: %v", time.Since(start))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Perform hung in unavailable-retry after client close")
 	}
 }
 

@@ -25,6 +25,30 @@
 // Components fail independently: Deployment.CrashTC / CrashDC /
 // CrashAll inject the paper's §5.3 partial failures, and RecoverTC /
 // RecoverDC / RecoverAll run the corresponding restart protocols.
+//
+// # Pipelined operation shipping
+//
+// The cost of unbundling is that every logical operation crosses a TC:DC
+// message boundary (§4.2). With TCConfig.Pipeline, logged writes no longer
+// wait for that round trip: their outcome is already decided when they are
+// sent — the X lock freezes the key and the pre-check (or, for versioned
+// upserts, the operation's own semantics) guarantees success at the DC —
+// and the operation is in the TC-log, so the resend/redo contract delivers
+// it even across failures. The TC appends the op record, posts the op into
+// a per-DC pipeline, and returns to the transaction immediately.
+//
+// Each pipeline keeps exactly one batch in flight per DC: operations
+// queued behind it are coalesced into a single PerformBatch wire message
+// (per-op results in the reply) that the DC executes in arrival order, so
+// the logical operation stream per DC never reorders and each op keeps its
+// LSN request ID for resend idempotence. The ack barrier sits at commit:
+// Commit appends the commit record, then overlaps forcing it with draining
+// the transaction's outstanding DC acknowledgements, and releases locks
+// only after both — no other transaction can ever observe a
+// not-yet-applied write, preserving strict two-phase locking semantics
+// while transaction latency drops from ops x RTT toward one RTT per batch.
+// Abort drains before sending inverse operations, and scans drain for
+// read-your-writes (point reads are answered by the transaction cache).
 package unbundled
 
 import (
