@@ -1,3 +1,3 @@
 module github.com/cidr09/unbundled
 
-go 1.24
+go 1.23

@@ -8,7 +8,10 @@
 // transactions (§5.2.2). The two spaces are never compared with each other.
 package base
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // LSN is a log sequence number in a TC's log space. It doubles as the
 // unique request identifier for operations sent to a DC. Zero means "none".
@@ -21,6 +24,17 @@ type DLSN uint64
 // TCID identifies a transactional component instance. A DC tracks abstract
 // LSNs separately per TCID (§6.1.1).
 type TCID uint16
+
+// Epoch numbers the incarnations of one TC. A TC mints a fresh, strictly
+// larger epoch every time it (re)starts, forces it into its log before
+// stamping it on any operation, and announces it to every DC via
+// begin_restart. The DC refuses anything stamped with an older epoch
+// (CodeStaleEpoch): operations of a dead incarnation that were still on
+// the wire when the TC crashed can therefore never execute after the
+// restart reset, even though the restarted TC reuses the dead
+// incarnation's LSN space. Zero means "no epoch" (pre-epoch encodings and
+// a DC that has never seen a restart for the TC).
+type Epoch uint64
 
 // PageID identifies a page within one DC's stable store. Zero is invalid.
 type PageID uint32
@@ -138,6 +152,12 @@ const (
 	// CodeUnavailable means the DC is down or restarting; the sender
 	// should retry (resend contract, §4.2).
 	CodeUnavailable
+	// CodeStaleEpoch means the operation was stamped with an incarnation
+	// epoch older than the one the DC holds for that TC: it was issued by a
+	// dead incarnation whose unforced log tail is gone. Unlike
+	// CodeUnavailable this is a permanent nack — resending can never
+	// succeed, because epochs only move forward.
+	CodeStaleEpoch
 )
 
 func (c Code) String() string {
@@ -152,6 +172,8 @@ func (c Code) String() string {
 		return "bad-request"
 	case CodeUnavailable:
 		return "unavailable"
+	case CodeStaleEpoch:
+		return "stale-epoch"
 	}
 	return fmt.Sprintf("Code(%d)", uint8(c))
 }
@@ -173,3 +195,12 @@ func IsNotFound(err error) bool { return err == codeError(CodeNotFound) }
 
 // IsDuplicate reports whether err is the CodeDuplicate error.
 func IsDuplicate(err error) bool { return err == codeError(CodeDuplicate) }
+
+// ErrStaleEpoch is the typed error for CodeStaleEpoch: the operation (or
+// control call) came from a TC incarnation that has since been fenced by a
+// restart. Senders must treat it as permanent and never retry; errors.Is
+// works through wrapping.
+var ErrStaleEpoch error = codeError(CodeStaleEpoch)
+
+// IsStaleEpoch reports whether err is (or wraps) the stale-epoch error.
+func IsStaleEpoch(err error) bool { return errors.Is(err, ErrStaleEpoch) }

@@ -2,6 +2,8 @@ package base
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -56,6 +58,8 @@ func TestOpRoundTrip(t *testing.T) {
 		{Kind: OpRead, Table: "t", Key: "k", Flavor: ReadCommitted},
 		{TC: 3, LSN: 9, Kind: OpUpdate, Table: "t", Key: "k", Value: nil, Versioned: true},
 		{Kind: OpScanProbe, Table: "t", Key: "", Limit: -1},
+		{TC: 2, Epoch: 1, LSN: 5, Kind: OpUpsert, Table: "t", Key: "k", Value: []byte("v")},
+		{TC: 2, Epoch: 1 << 33, LSN: 5, Kind: OpDelete, Table: "t", Key: "k", Versioned: true},
 	}
 	for _, o := range ops {
 		buf := AppendOp(nil, o)
@@ -69,6 +73,85 @@ func TestOpRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(o, got) {
 			t.Fatalf("roundtrip mismatch:\n in=%#v\nout=%#v", o, got)
 		}
+	}
+}
+
+// legacyAppendOp reproduces the pre-epoch frame layout: no flag bit on the
+// kind byte, no epoch varint. Decoders must keep accepting it.
+func legacyAppendOp(buf []byte, o *Op) []byte {
+	buf = binary.AppendUvarint(buf, uint64(o.TC))
+	buf = binary.AppendUvarint(buf, uint64(o.LSN))
+	buf = append(buf, byte(o.Kind), byte(o.Flavor), boolByte(o.Versioned))
+	buf = appendString(buf, o.Table)
+	buf = appendString(buf, o.Key)
+	buf = appendString(buf, o.EndKey)
+	buf = appendBytes(buf, o.Value)
+	buf = binary.AppendVarint(buf, int64(o.Limit))
+	return buf
+}
+
+func TestOpEpochBackwardCompatibleDecoding(t *testing.T) {
+	o := &Op{TC: 4, LSN: 77, Kind: OpUpdate, Table: "t", Key: "k",
+		Value: []byte("v"), Limit: 3, Versioned: true}
+
+	// An epoch-zero frame is byte-identical to the legacy frame: old
+	// decoders would accept everything a pre-restart sender emits.
+	if got, want := AppendOp(nil, o), legacyAppendOp(nil, o); !bytes.Equal(got, want) {
+		t.Fatalf("epoch-zero frame differs from legacy frame:\n got %x\nwant %x", got, want)
+	}
+
+	// A legacy frame decodes with Epoch zero — including mid-batch, where
+	// the decoder cannot rely on "remaining bytes" heuristics.
+	stamped := &Op{TC: 4, Epoch: 9, LSN: 78, Kind: OpInsert, Table: "t", Key: "k2"}
+	buf := legacyAppendOp(nil, o)
+	buf = AppendOp(buf, stamped)
+	buf = legacyAppendOp(buf, o)
+	first, rest, err := DecodeOp(buf)
+	if err != nil || first.Epoch != 0 {
+		t.Fatalf("legacy decode: %v epoch=%d", err, first.Epoch)
+	}
+	second, rest, err := DecodeOp(rest)
+	if err != nil || second.Epoch != 9 {
+		t.Fatalf("stamped decode: %v epoch=%d", err, second.Epoch)
+	}
+	third, rest, err := DecodeOp(rest)
+	if err != nil || third.Epoch != 0 || len(rest) != 0 {
+		t.Fatalf("trailing legacy decode: %v epoch=%d rest=%d", err, third.Epoch, len(rest))
+	}
+	if !reflect.DeepEqual(first, third) {
+		t.Fatalf("legacy frames decoded differently: %#v vs %#v", first, third)
+	}
+}
+
+func TestOpBatchRoundTripMixedEpochs(t *testing.T) {
+	ops := []*Op{
+		{TC: 1, Epoch: 2, LSN: 10, Kind: OpInsert, Table: "t", Key: "a", Value: []byte("1")},
+		{TC: 1, LSN: 11, Kind: OpDelete, Table: "t", Key: "b"},
+		{TC: 1, Epoch: 3, LSN: 12, Kind: OpUpsert, Table: "t", Key: "c", Value: []byte("3")},
+	}
+	buf := AppendOpBatch(nil, ops)
+	got, rest, err := DecodeOpBatch(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("batch decode: %v rest=%d", err, len(rest))
+	}
+	if !reflect.DeepEqual(ops, got) {
+		t.Fatalf("batch mismatch:\n in=%#v\nout=%#v", ops, got)
+	}
+}
+
+func TestStaleEpochError(t *testing.T) {
+	if CodeStaleEpoch.String() != "stale-epoch" {
+		t.Fatalf("code name = %q", CodeStaleEpoch.String())
+	}
+	err := CodeStaleEpoch.Err()
+	if !IsStaleEpoch(err) {
+		t.Fatal("IsStaleEpoch failed on the direct error")
+	}
+	if !IsStaleEpoch(fmt.Errorf("dc x: fenced: %w", ErrStaleEpoch)) {
+		t.Fatal("IsStaleEpoch failed through wrapping")
+	}
+	if IsStaleEpoch(CodeUnavailable.Err()) || IsNotFound(err) {
+		t.Fatal("stale-epoch error conflated with other codes")
 	}
 }
 
@@ -109,9 +192,9 @@ func TestResultRoundTrip(t *testing.T) {
 }
 
 func TestOpRoundTripQuick(t *testing.T) {
-	f := func(tc uint16, lsn uint64, kind uint8, table, key, end string, val []byte, limit int32, versioned bool) bool {
+	f := func(tc uint16, epoch, lsn uint64, kind uint8, table, key, end string, val []byte, limit int32, versioned bool) bool {
 		o := &Op{
-			TC: TCID(tc), LSN: LSN(lsn), Kind: OpKind(kind % 10), Table: table,
+			TC: TCID(tc), Epoch: Epoch(epoch), LSN: LSN(lsn), Kind: OpKind(kind % 10), Table: table,
 			Key: key, EndKey: end, Value: val, Limit: limit, Versioned: versioned,
 		}
 		if len(o.Value) == 0 {

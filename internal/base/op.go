@@ -10,7 +10,14 @@ import (
 // (table, key or key range) plus the unique request identifier LSN.
 // Resends reuse the identifier so the DC can provide idempotence.
 type Op struct {
-	TC     TCID
+	TC TCID
+	// Epoch is the incarnation epoch of the sending TC. The DC rejects
+	// operations stamped with an epoch older than the one installed by the
+	// TC's last begin_restart (CodeStaleEpoch), fencing requests that were
+	// still on the wire when that incarnation died. Zero means "unstamped"
+	// (pre-epoch encodings); it is never fenced unless a restart has been
+	// seen.
+	Epoch  Epoch
 	LSN    LSN
 	Kind   OpKind
 	Table  string
@@ -25,7 +32,7 @@ type Op struct {
 }
 
 func (o *Op) String() string {
-	return fmt.Sprintf("op{tc=%d lsn=%d %s %s/%q}", o.TC, o.LSN, o.Kind, o.Table, o.Key)
+	return fmt.Sprintf("op{tc=%d ep=%d lsn=%d %s %s/%q}", o.TC, o.Epoch, o.LSN, o.Kind, o.Table, o.Key)
 }
 
 // ConflictsWith reports whether two operations logically conflict: same
@@ -127,35 +134,62 @@ type Service interface {
 	// EndOfStableLog tells the DC that all operations with LSN <= eosl are
 	// stable in the TC log and will not be lost in a TC crash; causality
 	// then allows the DC to make such operations stable (write-ahead
-	// logging across the kernel split).
-	EndOfStableLog(tc TCID, eosl LSN)
+	// logging across the kernel split). Watermarks stamped with a fenced
+	// epoch are ignored: a dead incarnation's broadcasts still in flight
+	// must not re-poison watermarks the restart reset re-based.
+	EndOfStableLog(tc TCID, epoch Epoch, eosl LSN)
 	// LowWaterMark tells the DC the TC has received replies for every
 	// operation with LSN <= lwm, so there are no gaps below lwm among the
-	// operations reflected in cached pages (§5.1.2).
-	LowWaterMark(tc TCID, lwm LSN)
+	// operations reflected in cached pages (§5.1.2). Epoch-fenced like
+	// EndOfStableLog.
+	LowWaterMark(tc TCID, epoch Epoch, lwm LSN)
 	// Checkpoint asks the DC to make stable every page containing effects
 	// of operations with LSN < newRSSP. When it returns nil, the contract
 	// requiring the TC to be able to resend those operations is released
-	// and the TC may advance its redo scan start point (§4.2.1).
-	Checkpoint(tc TCID, newRSSP LSN) error
-	// BeginRestart starts restart processing for one TC: the DC discards
-	// from its cache all effects of that TC's operations with LSN beyond
-	// stableLSN (they are lost forever; causality guarantees none are
-	// stable). Other TCs' data is untouched (§6.1.2).
-	BeginRestart(tc TCID, stableLSN LSN) error
-	// EndRestart acknowledges completion of the restart function, allowing
-	// normal processing to resume.
-	EndRestart(tc TCID) error
+	// and the TC may advance its redo scan start point (§4.2.1). A
+	// checkpoint from a fenced epoch fails with ErrStaleEpoch.
+	Checkpoint(tc TCID, epoch Epoch, newRSSP LSN) error
+	// BeginRestart starts restart processing for one TC incarnation: the DC
+	// installs epoch as the TC's fence — durably, and before any state is
+	// touched — then discards from its cache all effects of that TC's
+	// operations with LSN beyond stableLSN (they are lost forever;
+	// causality guarantees none are stable). Other TCs' data is untouched
+	// (§6.1.2). From this point every operation, watermark, or control call
+	// stamped with an older epoch is refused, so requests of the dead
+	// incarnation still on the wire can never take effect. A BeginRestart
+	// whose own epoch is older than the fence fails with ErrStaleEpoch;
+	// a duplicate delivery for the already-installed epoch is a no-op (the
+	// reset must not repeat once redo has begun).
+	BeginRestart(tc TCID, epoch Epoch, stableLSN LSN) error
+	// EndRestart acknowledges completion of the restart function: the DC
+	// atomically activates the staged epoch, discards whatever the prior
+	// incarnation still had queued (fenced in-flight operations), and
+	// resumes normal processing. Fails with ErrStaleEpoch when epoch is
+	// older than the installed fence (a dead incarnation's late call).
+	EndRestart(tc TCID, epoch Epoch) error
 }
 
 // op/result wire encodings -------------------------------------------------
+
+// opEpochFlag marks, on the kind byte, that an epoch varint follows the
+// fixed three-byte group. OpKind values are tiny, so the high bit is free; an
+// epoch-less (pre-epoch) frame never sets it, which keeps old encodings
+// decodable and makes epoch-zero frames byte-identical to them.
+const opEpochFlag = 0x80
 
 // AppendOp serializes op to buf using a compact length-prefixed binary
 // format (stdlib encoding/binary varints).
 func AppendOp(buf []byte, o *Op) []byte {
 	buf = binary.AppendUvarint(buf, uint64(o.TC))
 	buf = binary.AppendUvarint(buf, uint64(o.LSN))
-	buf = append(buf, byte(o.Kind), byte(o.Flavor), boolByte(o.Versioned))
+	kind := byte(o.Kind)
+	if o.Epoch != 0 {
+		kind |= opEpochFlag
+	}
+	buf = append(buf, kind, byte(o.Flavor), boolByte(o.Versioned))
+	if o.Epoch != 0 {
+		buf = binary.AppendUvarint(buf, uint64(o.Epoch))
+	}
 	buf = appendString(buf, o.Table)
 	buf = appendString(buf, o.Key)
 	buf = appendString(buf, o.EndKey)
@@ -165,7 +199,8 @@ func AppendOp(buf []byte, o *Op) []byte {
 }
 
 // DecodeOp parses an operation previously produced by AppendOp and returns
-// the remaining bytes.
+// the remaining bytes. Frames without the epoch flag (all pre-epoch
+// encodings) decode with Epoch zero.
 func DecodeOp(buf []byte) (*Op, []byte, error) {
 	var o Op
 	var err error
@@ -181,8 +216,15 @@ func DecodeOp(buf []byte) (*Op, []byte, error) {
 	if len(buf) < 3 {
 		return nil, nil, errShort
 	}
-	o.Kind, o.Flavor, o.Versioned = OpKind(buf[0]), ReadFlavor(buf[1]), buf[2] != 0
+	kind := buf[0]
+	o.Kind, o.Flavor, o.Versioned = OpKind(kind&^opEpochFlag), ReadFlavor(buf[1]), buf[2] != 0
 	buf = buf[3:]
+	if kind&opEpochFlag != 0 {
+		if u, buf, err = readUvarint(buf); err != nil {
+			return nil, nil, err
+		}
+		o.Epoch = Epoch(u)
+	}
 	if o.Table, buf, err = readString(buf); err != nil {
 		return nil, nil, err
 	}

@@ -21,12 +21,14 @@ import (
 // transaction released its locks before its pipelined writes were applied
 // (a reader of the stale value would then commit over the top of them).
 func TestConcurrentTxnsOnMisbehavingNetwork(t *testing.T) {
+	// The per-worker transaction count scales with CHAOS_ITERS so the
+	// nightly chaos job soaks the oracle far longer than a PR run.
+	txns := 25 * chaosIters(t, 1)
 	for _, pipelined := range []bool{false, true} {
 		t.Run(fmt.Sprintf("pipeline=%v", pipelined), func(t *testing.T) {
 			const (
 				keys    = 8
 				workers = 4
-				txns    = 25
 			)
 			dep, err := New(Options{
 				TCs: 1, DCs: 2, Tables: []string{"kv"},

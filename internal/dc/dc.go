@@ -15,6 +15,7 @@ package dc
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -53,6 +54,7 @@ type Stats struct {
 	Performs      uint64
 	DupSkips      uint64 // operations recognized as already applied
 	Unavailable   uint64
+	StaleEpochs   uint64 // operations refused as pre-restart (epoch fence)
 	ResetPages    uint64 // pages reset by partial-failure restarts
 	RestoredRecs  uint64 // records restored from disk versions during reset
 	ConflictViols uint64 // debug conflict-checker violations (must be 0)
@@ -67,11 +69,32 @@ const (
 )
 
 // tcState is the DC's per-TC bookkeeping: the watermarks that drive
-// flushing and pruning.
+// flushing and pruning, plus the incarnation-epoch fence.
 type tcState struct {
+	// ctl serializes the control plane — epoch installs and the restart
+	// sweep (BeginRestart), activation (EndRestart), checkpoint admission,
+	// and watermark advances. The wire server dispatches control calls in
+	// their own goroutines and the fabric duplicates deliveries, so every
+	// check-then-act on this state must hold ctl or a duplicated/reordered
+	// delivery can double-run the sweep, regress the fence, or slip a
+	// stale watermark past a concurrent fence raise. Reads on the Perform
+	// hot path stay lock-free via the atomics.
+	ctl  sync.Mutex
 	eosl atomic.Uint64
 	lwm  atomic.Uint64
+	// epoch is the fence installed by the TC's last begin_restart (zero
+	// until the first restart is seen): operations, watermarks, and control
+	// calls stamped with an older epoch are refused. It only ever rises.
+	epoch atomic.Uint64
+	// restarting is true between begin_restart and end_restart: the staged
+	// epoch is fencing already, but normal processing (checkpoints) has not
+	// been re-admitted yet.
+	restarting atomic.Bool
 }
+
+// fenced reports whether an incoming epoch is older than the installed
+// fence and must be refused.
+func (s *tcState) fenced(e base.Epoch) bool { return uint64(e) < s.epoch.Load() }
 
 // DC is one data component. It implements base.Service.
 type DC struct {
@@ -79,17 +102,23 @@ type DC struct {
 	store  *storage.PageStore
 	dmedia *storage.LogStore
 
-	mu        sync.Mutex // guards state, trees, tcs, pageTable
+	mu        sync.Mutex // guards state, trees, tcs, pageTable, epochRec
 	state     dcState
 	dlog      *wal.Log
 	pool      *buffer.Pool
 	trees     map[string]*btree.Tree
 	pageTable map[base.PageID]string // page -> table (for reset routing)
 	tcs       map[base.TCID]*tcState
+	// epochRec is the dLSN of the latest KindEpochs snapshot in the DC-log
+	// (zero when no epoch has ever been staged). Truncation re-appends a
+	// fresh snapshot whenever it would discard this record, so the fences
+	// always survive DC crashes.
+	epochRec base.DLSN
 
 	inflight *conflictTable
 
 	performs, dupSkips, unavailable   atomic.Uint64
+	staleEpochs                       atomic.Uint64
 	resetPages, restoredRecs, conVios atomic.Uint64
 }
 
@@ -167,6 +196,12 @@ func (d *DC) ForceSMO(dl base.DLSN) { d.dlog.ForceTo(base.LSN(dl)) }
 
 // Name returns the DC's configured name.
 func (d *DC) Name() string { return d.cfg.Name }
+
+// EpochOf returns the incarnation-epoch fence currently installed for tc
+// (zero until the first begin_restart is seen).
+func (d *DC) EpochOf(tc base.TCID) base.Epoch {
+	return base.Epoch(d.tcState(tc).epoch.Load())
+}
 
 // Pool exposes the buffer pool (experiments read its stats).
 func (d *DC) Pool() *buffer.Pool { return d.pool }
@@ -267,15 +302,20 @@ func (d *DC) updateCatalog(pool *buffer.Pool, table string, root base.PageID, dl
 
 // EndOfStableLog implements base.Service (§4.2.1): all operations with
 // LSN <= eosl are stable in the TC log; causality then allows the DC to
-// make them stable too.
-func (d *DC) EndOfStableLog(tc base.TCID, eosl base.LSN) {
+// make them stable too. Broadcasts from a fenced incarnation are dropped;
+// the fence check and the advance are one critical section, so a claim
+// cannot pass the check and then land after a concurrent fence raise.
+func (d *DC) EndOfStableLog(tc base.TCID, epoch base.Epoch, eosl base.LSN) {
 	s := d.tcState(tc)
-	for {
-		cur := s.eosl.Load()
-		if uint64(eosl) <= cur || s.eosl.CompareAndSwap(cur, uint64(eosl)) {
-			break
-		}
+	s.ctl.Lock()
+	if s.fenced(epoch) {
+		s.ctl.Unlock()
+		return
 	}
+	if uint64(eosl) > s.eosl.Load() {
+		s.eosl.Store(uint64(eosl))
+	}
+	s.ctl.Unlock()
 	if p := d.poolNow(); p != nil {
 		p.Kick()
 	}
@@ -283,15 +323,24 @@ func (d *DC) EndOfStableLog(tc base.TCID, eosl base.LSN) {
 
 // LowWaterMark implements base.Service (§4.2.1): the TC has received
 // replies for every operation with LSN <= lwm, so LSNlw on cached pages
-// may advance (bounded by EOSL; see buffer and ablsn for why).
-func (d *DC) LowWaterMark(tc base.TCID, lwm base.LSN) {
+// may advance (bounded by EOSL; see buffer and ablsn for why). Claims from
+// a fenced incarnation are dropped: BeginRestart re-based the mark to zero
+// precisely because the restarted TC reuses the dead incarnation's LSN
+// space, and a stale in-flight claim would prune abstract LSNs into it.
+// The check and the advance share ctl with BeginRestart's fence raise and
+// re-base, so the stale claim either lands entirely before the raise (and
+// is zeroed by the re-base) or is fenced — never in between.
+func (d *DC) LowWaterMark(tc base.TCID, epoch base.Epoch, lwm base.LSN) {
 	s := d.tcState(tc)
-	for {
-		cur := s.lwm.Load()
-		if uint64(lwm) <= cur || s.lwm.CompareAndSwap(cur, uint64(lwm)) {
-			break
-		}
+	s.ctl.Lock()
+	if s.fenced(epoch) {
+		s.ctl.Unlock()
+		return
 	}
+	if uint64(lwm) > s.lwm.Load() {
+		s.lwm.Store(uint64(lwm))
+	}
+	s.ctl.Unlock()
 	if p := d.poolNow(); p != nil {
 		p.Kick()
 	}
@@ -300,8 +349,24 @@ func (d *DC) LowWaterMark(tc base.TCID, lwm base.LSN) {
 // Checkpoint implements base.Service (§4.2.1): make stable all pages that
 // contain effects of operations with LSN < newRSSP for tc, releasing the
 // TC's resend obligation below newRSSP. The TC has forced its log through
-// newRSSP before calling, so the causality gate is open.
-func (d *DC) Checkpoint(tc base.TCID, newRSSP base.LSN) error {
+// newRSSP before calling, so the causality gate is open. A checkpoint from
+// a fenced incarnation is refused — releasing resend obligations based on
+// a dead incarnation's view would be unrecoverable — and so is one racing
+// an unfinished restart.
+func (d *DC) Checkpoint(tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
+	s := d.tcState(tc)
+	s.ctl.Lock()
+	if s.fenced(epoch) {
+		cur := s.epoch.Load()
+		s.ctl.Unlock()
+		return fmt.Errorf("dc %s: checkpoint for tc %d epoch %d behind fence %d: %w",
+			d.cfg.Name, tc, epoch, cur, base.ErrStaleEpoch)
+	}
+	if s.restarting.Load() {
+		s.ctl.Unlock()
+		return fmt.Errorf("dc %s: checkpoint for tc %d during its restart", d.cfg.Name, tc)
+	}
+	s.ctl.Unlock()
 	pool := d.runningPool()
 	if pool == nil {
 		return fmt.Errorf("dc %s: unavailable", d.cfg.Name)
@@ -335,7 +400,10 @@ func (d *DC) runningPool() *buffer.Pool {
 }
 
 // truncateDCLog discards DC-log records whose effects are fully stable:
-// everything below the minimum RecDLSN among dirty cached pages.
+// everything below the minimum RecDLSN among dirty cached pages. The
+// epoch-fence snapshot is not page-backed, so if truncation would discard
+// the latest KindEpochs record a fresh snapshot is forced first — the
+// fences must survive any crash.
 func (d *DC) truncateDCLog(pool *buffer.Pool) {
 	minD := d.dlog.LastLSN() + 1
 	pool.Pages(func(pg *page.Page) {
@@ -349,7 +417,38 @@ func (d *DC) truncateDCLog(pool *buffer.Pool) {
 	if minD > stable+1 {
 		minD = stable + 1
 	}
+	d.mu.Lock()
+	relog := d.epochRec != 0 && base.LSN(d.epochRec) < minD
+	d.mu.Unlock()
+	if relog {
+		d.logEpochs()
+	}
 	d.dlog.Truncate(minD)
+}
+
+// logEpochs forces a full per-TC epoch snapshot into the DC-log. Called
+// under no locks; the snapshot is taken atomically under d.mu.
+func (d *DC) logEpochs() {
+	d.mu.Lock()
+	snap := make([]dclog.TCEpoch, 0, len(d.tcs))
+	for id, s := range d.tcs {
+		if e := s.epoch.Load(); e != 0 {
+			snap = append(snap, dclog.TCEpoch{TC: id, Epoch: base.Epoch(e)})
+		}
+	}
+	d.mu.Unlock()
+	if len(snap) == 0 {
+		return
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i].TC < snap[j].TC })
+	rec := &dclog.Epochs{Epochs: snap}
+	dlsn := d.AppendSMO(dclog.KindEpochs, rec.Encode())
+	d.mu.Lock()
+	if dlsn > d.epochRec {
+		d.epochRec = dlsn
+	}
+	d.mu.Unlock()
+	d.ForceSMO(dlsn)
 }
 
 func (d *DC) running() bool {
@@ -364,6 +463,7 @@ func (d *DC) Stats() Stats {
 		Performs:      d.performs.Load(),
 		DupSkips:      d.dupSkips.Load(),
 		Unavailable:   d.unavailable.Load(),
+		StaleEpochs:   d.staleEpochs.Load(),
 		ResetPages:    d.resetPages.Load(),
 		RestoredRecs:  d.restoredRecs.Load(),
 		ConflictViols: d.conVios.Load(),
@@ -402,5 +502,19 @@ func (c *conflictTable) enter(op *base.Op) int {
 func (c *conflictTable) exit(op *base.Op) {
 	c.mu.Lock()
 	delete(c.ops, op)
+	c.mu.Unlock()
+}
+
+// discardStale drops tc's entries stamped with an epoch below the fence:
+// fenced operations still draining through the DC (e.g. parked on a page
+// barrier) must not count as conflicts against the new incarnation. Their
+// own deferred exit calls become harmless double-deletes.
+func (c *conflictTable) discardStale(tc base.TCID, fence base.Epoch) {
+	c.mu.Lock()
+	for op := range c.ops {
+		if op.TC == tc && op.Epoch < fence {
+			delete(c.ops, op)
+		}
+	}
 	c.mu.Unlock()
 }

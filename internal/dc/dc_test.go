@@ -25,11 +25,13 @@ func newDC(t *testing.T, cfg Config) *DC {
 }
 
 // opHelper issues operations with an incrementing LSN for one TC and
-// mirrors the TC's watermark duties.
+// mirrors the TC's watermark duties. epoch is the incarnation stamp
+// (zero until a test simulates a TC restart).
 type opHelper struct {
-	d    *DC
-	tc   base.TCID
-	next base.LSN
+	d     *DC
+	tc    base.TCID
+	epoch base.Epoch
+	next  base.LSN
 	// ops issued so far, for replay in recovery tests.
 	issued []*base.Op
 }
@@ -39,7 +41,7 @@ func newOpHelper(d *DC, tc base.TCID) *opHelper {
 }
 
 func (h *opHelper) do(kind base.OpKind, key string, val []byte, versioned bool) *base.Result {
-	op := &base.Op{TC: h.tc, LSN: h.next, Kind: kind, Table: "t", Key: key,
+	op := &base.Op{TC: h.tc, Epoch: h.epoch, LSN: h.next, Kind: kind, Table: "t", Key: key,
 		Value: val, Versioned: versioned}
 	h.next++
 	h.issued = append(h.issued, op)
@@ -54,13 +56,13 @@ func (h *opHelper) update(key, val string) *base.Result {
 }
 func (h *opHelper) del(key string) *base.Result { return h.do(base.OpDelete, key, nil, false) }
 func (h *opHelper) read(key string) *base.Result {
-	return h.d.Perform(&base.Op{TC: h.tc, LSN: 0, Kind: base.OpRead, Table: "t", Key: key})
+	return h.d.Perform(&base.Op{TC: h.tc, Epoch: h.epoch, LSN: 0, Kind: base.OpRead, Table: "t", Key: key})
 }
 
 // ack tells the DC everything issued so far is stable and acknowledged.
 func (h *opHelper) ack() {
-	h.d.EndOfStableLog(h.tc, h.next-1)
-	h.d.LowWaterMark(h.tc, h.next-1)
+	h.d.EndOfStableLog(h.tc, h.epoch, h.next-1)
+	h.d.LowWaterMark(h.tc, h.epoch, h.next-1)
 }
 
 func TestBasicCRUD(t *testing.T) {
@@ -233,7 +235,7 @@ func TestDCCrashRecoveryWithSplits(t *testing.T) {
 	h.ack()
 	// Checkpoint half the LSN space: pages with earlier ops are forced.
 	mid := base.LSN(n / 2)
-	if err := d.Checkpoint(1, mid); err != nil {
+	if err := d.Checkpoint(1, 0, mid); err != nil {
 		t.Fatal(err)
 	}
 
@@ -318,9 +320,9 @@ func TestTCFailureReset(t *testing.T) {
 	h := newOpHelper(d, 1)
 	h.insert("a", "stable")
 	// Stabilize: log stable through LSN 1, page flushed.
-	d.EndOfStableLog(1, 1)
-	d.LowWaterMark(1, 1)
-	if err := d.Checkpoint(1, 2); err != nil {
+	d.EndOfStableLog(1, 0, 1)
+	d.LowWaterMark(1, 0, 1)
+	if err := d.Checkpoint(1, 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	// Lost tail: ops 2..3 applied but never forced at the TC.
@@ -329,16 +331,18 @@ func TestTCFailureReset(t *testing.T) {
 	if r := h.read("a"); string(r.Value) != "lost1" {
 		t.Fatalf("pre-crash read: %+v", r)
 	}
-	// TC crashes with stable log end = 1.
-	if err := d.BeginRestart(1, 1); err != nil {
+	// TC crashes with stable log end = 1; the restarted incarnation is 2.
+	if err := d.BeginRestart(1, 2, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.EndRestart(1); err != nil {
+	if err := d.EndRestart(1, 2); err != nil {
 		t.Fatal(err)
 	}
 	if d.Stats().ResetPages == 0 {
 		t.Fatal("no pages were reset")
 	}
+	// The new incarnation's requests pass the fence.
+	h.epoch = 2
 	// The stable value is back; the lost operations' effects are gone.
 	if r := h.read("a"); !r.Found || string(r.Value) != "stable" {
 		t.Fatalf("after reset: %+v", r)
@@ -348,7 +352,7 @@ func TestTCFailureReset(t *testing.T) {
 	}
 	// The restarted TC reuses LSNs 2..: they must execute (not be treated
 	// as already applied).
-	reuse := &base.Op{TC: 1, LSN: 2, Kind: base.OpInsert, Table: "t", Key: "c", Value: []byte("new2")}
+	reuse := &base.Op{TC: 1, Epoch: 2, LSN: 2, Kind: base.OpInsert, Table: "t", Key: "c", Value: []byte("new2")}
 	if r := d.Perform(reuse); r.Code != base.CodeOK || r.Applied {
 		t.Fatalf("reused LSN mishandled: %+v", r)
 	}
@@ -362,23 +366,24 @@ func TestMultiTCResetIsolation(t *testing.T) {
 	h2 := newOpHelper(d, 2)
 	h1.insert("tc1-a", "stable1")
 	h2.insert("tc2-a", "stable2")
-	d.EndOfStableLog(1, 1)
-	d.LowWaterMark(1, 1)
-	d.EndOfStableLog(2, 1)
-	d.LowWaterMark(2, 1)
-	if err := d.Checkpoint(1, 2); err != nil {
+	d.EndOfStableLog(1, 0, 1)
+	d.LowWaterMark(1, 0, 1)
+	d.EndOfStableLog(2, 0, 1)
+	d.LowWaterMark(2, 0, 1)
+	if err := d.Checkpoint(1, 0, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Checkpoint(2, 2); err != nil {
+	if err := d.Checkpoint(2, 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	// Both TCs apply further unstable ops to the same page.
 	h1.update("tc1-a", "lost")
 	h2.update("tc2-a", "kept-unstable")
 	// TC 1 crashes; TC 2 is fine.
-	if err := d.BeginRestart(1, 1); err != nil {
+	if err := d.BeginRestart(1, 2, 1); err != nil {
 		t.Fatal(err)
 	}
+	h1.epoch = 2
 	if r := h1.read("tc1-a"); string(r.Value) != "stable1" {
 		t.Fatalf("tc1 record not reset: %+v", r)
 	}
@@ -399,7 +404,7 @@ func TestCheckpointFlushesAndTruncates(t *testing.T) {
 		// Splits happened but nothing is forced yet; that is fine.
 		t.Logf("pre-checkpoint stable DC-log records: %d", n)
 	}
-	if err := d.Checkpoint(1, h.next); err != nil {
+	if err := d.Checkpoint(1, h.epoch, h.next); err != nil {
 		t.Fatal(err)
 	}
 	// All dirty pages stable; the DC-log contract is released entirely.
@@ -448,7 +453,7 @@ func TestPageSyncStrategiesEndToEnd(t *testing.T) {
 				h.insert(fmt.Sprintf("k%03d", i), "v")
 			}
 			h.ack()
-			if err := d.Checkpoint(1, h.next); err != nil {
+			if err := d.Checkpoint(1, h.epoch, h.next); err != nil {
 				t.Fatal(err)
 			}
 			d.Crash()
@@ -494,7 +499,7 @@ func TestRandomizedCrashReplayConvergence(t *testing.T) {
 		}
 		h.ack()
 		if rnd.Intn(2) == 0 {
-			if err := d.Checkpoint(1, h.next); err != nil {
+			if err := d.Checkpoint(1, h.epoch, h.next); err != nil {
 				t.Fatal(err)
 			}
 		}

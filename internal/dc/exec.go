@@ -18,6 +18,15 @@ func (d *DC) Perform(op *base.Op) *base.Result {
 		d.unavailable.Add(1)
 		return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
 	}
+	// Incarnation fence: an operation stamped by an epoch older than the
+	// TC's last begin_restart was issued by a dead incarnation. It must
+	// never execute — its log record died with the unforced tail, and its
+	// LSN is being reused — so the nack is permanent (no resend).
+	ts := d.tcState(op.TC)
+	if ts.fenced(op.Epoch) {
+		d.staleEpochs.Add(1)
+		return &base.Result{LSN: op.LSN, Code: base.CodeStaleEpoch}
+	}
 	d.performs.Add(1)
 	if d.inflight != nil {
 		if n := d.inflight.enter(op); n > 0 {
@@ -42,7 +51,7 @@ func (d *DC) Perform(op *base.Op) *base.Result {
 		if pool == nil {
 			return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
 		}
-		return d.write(pool, tree, op)
+		return d.write(pool, tree, ts, op)
 	default:
 		return &base.Result{LSN: op.LSN, Code: base.CodeBadRequest}
 	}
@@ -132,10 +141,21 @@ func (d *DC) rangeRead(tree *btree.Tree, op *base.Op) *base.Result {
 // write executes a mutating operation with the abstract-LSN idempotence
 // test of §5.1.2: if the page already contains the operation's effects the
 // DC skips re-execution and acknowledges.
-func (d *DC) write(pool *buffer.Pool, tree *btree.Tree, op *base.Op) *base.Result {
+func (d *DC) write(pool *buffer.Pool, tree *btree.Tree, ts *tcState, op *base.Op) *base.Result {
 	for {
 		var res *base.Result
 		leafID, blocked, err := tree.Apply(op.Key, func(leaf *page.Page) bool {
+			// Re-test the incarnation fence under the leaf latch: the
+			// restart sweep latches every page, so a write serializes with
+			// it — applied before the sweep it is stripped by the reset,
+			// latched after it is fenced here. The entry check alone would
+			// leave a window where an old-epoch write lands on an
+			// already-swept page.
+			if ts.fenced(op.Epoch) {
+				d.staleEpochs.Add(1)
+				res = &base.Result{LSN: op.LSN, Code: base.CodeStaleEpoch}
+				return false
+			}
 			if leaf.Ab.Contains(op.TC, op.LSN) {
 				d.dupSkips.Add(1)
 				res = &base.Result{LSN: op.LSN, Code: base.CodeOK, Applied: true}

@@ -24,6 +24,9 @@ func (d *DC) Crash() {
 	d.trees = make(map[string]*btree.Tree)
 	d.pageTable = make(map[base.PageID]string)
 	d.tcs = make(map[base.TCID]*tcState)
+	// Epoch fences are rebuilt from the stable DC-log (every bump is forced
+	// before it takes effect, and truncation re-snapshots).
+	d.epochRec = 0
 	d.dlog.Crash()
 	if d.inflight != nil {
 		d.inflight = newConflictTable()
@@ -153,6 +156,30 @@ func (d *DC) redoSMO(pool *buffer.Pool, rec *wal.Record) error {
 		}
 		d.redoCatalogPut(pool, rc.Table, rc.NewRootID, dlsn)
 		pool.Drop(rc.OldRootID, true)
+	case dclog.KindEpochs:
+		eps, err := dclog.DecodeEpochs(rec.Payload)
+		if err != nil {
+			return err
+		}
+		// Reinstall the incarnation fences before any operation is served:
+		// requests of pre-restart TC incarnations stay fenced across DC
+		// crashes. Max semantics make replay of multiple snapshots
+		// idempotent. No restart is in progress after a DC recover — if one
+		// was, the TC's (resent) BeginRestart/EndRestart re-establishes it.
+		for _, e := range eps.Epochs {
+			s := d.tcState(e.TC)
+			for {
+				cur := s.epoch.Load()
+				if uint64(e.Epoch) <= cur || s.epoch.CompareAndSwap(cur, uint64(e.Epoch)) {
+					break
+				}
+			}
+		}
+		d.mu.Lock()
+		if dlsn > d.epochRec {
+			d.epochRec = dlsn
+		}
+		d.mu.Unlock()
 	default:
 		return fmt.Errorf("dc %s: unknown DC-log kind %d", d.cfg.Name, rec.Kind)
 	}
@@ -324,7 +351,15 @@ func (d *DC) redoConsolidate(pool *buffer.Pool, co *dclog.Consolidate, dlsn base
 // (causality guarantees none reached stable storage). Only the failed TC's
 // records are touched: they are replaced from the disk versions of the
 // affected pages; other TCs' records survive untouched.
-func (d *DC) BeginRestart(tc base.TCID, stableLSN base.LSN) error {
+//
+// Before anything else the restarting incarnation's epoch is installed as
+// the TC's fence and forced into the DC-log: from that moment every
+// request stamped by the dead incarnation is refused, and the in-latch
+// re-check in write serializes the fence with this sweep — an old-epoch
+// operation either lands before the sweep (and is stripped by it) or is
+// fenced. Together they close the window the TC-side generation check
+// cannot: a batch already on the wire when the TC died.
+func (d *DC) BeginRestart(tc base.TCID, epoch base.Epoch, stableLSN base.LSN) error {
 	if !d.running() {
 		return fmt.Errorf("dc %s: unavailable", d.cfg.Name)
 	}
@@ -332,9 +367,35 @@ func (d *DC) BeginRestart(tc base.TCID, stableLSN base.LSN) error {
 	if pool == nil {
 		return fmt.Errorf("dc %s: unavailable", d.cfg.Name)
 	}
+	s := d.tcState(tc)
+	// The whole restart — fence install, durable record, re-base, sweep,
+	// restores — is one ctl critical section: a duplicated delivery must
+	// not reply (unblocking the TC's redo) while the winning delivery is
+	// still sweeping, and a reordered older-epoch delivery must not regress
+	// a fence a newer incarnation already installed.
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
+	cur := base.Epoch(s.epoch.Load())
+	if epoch < cur {
+		return fmt.Errorf("dc %s: begin-restart for tc %d epoch %d behind fence %d: %w",
+			d.cfg.Name, tc, epoch, cur, base.ErrStaleEpoch)
+	}
+	if epoch == cur && epoch != 0 {
+		// Duplicate delivery of an already-processed begin_restart (the
+		// wire resends and duplicates): the reset ran once; running it
+		// again after redo/undo started would strip post-restart effects.
+		return nil
+	}
+	s.epoch.Store(uint64(epoch))
+	s.restarting.Store(true)
+	// Persist the fence before touching any state: once effects are swept,
+	// no crash may resurrect the DC without it.
+	d.logEpochs()
 	// The restarted TC reuses the LSN space above stableLSN: stale
-	// low-water-mark claims must not prune abstract LSNs into it.
-	d.tcState(tc).lwm.Store(0)
+	// low-water-mark claims must not prune abstract LSNs into it. (Claims
+	// still in flight from the dead incarnation are epoch-fenced, and the
+	// fence raise and this re-base are atomic under ctl.)
+	s.lwm.Store(0)
 
 	type restore struct {
 		table string
@@ -410,8 +471,34 @@ func (d *DC) BeginRestart(tc base.TCID, stableLSN base.LSN) error {
 }
 
 // EndRestart implements base.Service: restart processing for tc is
-// complete and normal processing resumes.
-func (d *DC) EndRestart(tc base.TCID) error { return nil }
+// complete. The staged epoch is atomically activated — normal processing
+// (checkpoints included) resumes for the new incarnation — and whatever
+// the prior incarnation still has queued inside the DC is discarded: its
+// conflict-table entries are purged (fenced operations parked on page
+// barriers otherwise count as conflicts against the new incarnation's
+// operations). A late EndRestart from a dead incarnation is refused.
+func (d *DC) EndRestart(tc base.TCID, epoch base.Epoch) error {
+	if !d.running() {
+		return fmt.Errorf("dc %s: unavailable", d.cfg.Name)
+	}
+	s := d.tcState(tc)
+	// Validation and activation are one ctl critical section: a dead
+	// incarnation's late end_restart racing a newer begin_restart must not
+	// load the old fence, pass the check, and then clear the newer
+	// restart's in-progress state.
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
+	cur := base.Epoch(s.epoch.Load())
+	if epoch < cur {
+		return fmt.Errorf("dc %s: end-restart for tc %d epoch %d behind fence %d: %w",
+			d.cfg.Name, tc, epoch, cur, base.ErrStaleEpoch)
+	}
+	s.restarting.Store(false)
+	if d.inflight != nil {
+		d.inflight.discardStale(tc, cur)
+	}
+	return nil
+}
 
 func (d *DC) tableOf(id base.PageID) string {
 	d.mu.Lock()

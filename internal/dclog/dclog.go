@@ -34,7 +34,26 @@ const (
 	KindConsolidate
 	// KindRootCollapse replaces a single-child branch root by its child.
 	KindRootCollapse
+	// KindEpochs snapshots the per-TC incarnation-epoch table. A record is
+	// forced whenever a begin_restart raises a TC's fence, and re-appended
+	// ahead of any truncation that would discard the latest snapshot, so a
+	// recovered DC always rebuilds the fences before serving operations —
+	// a dead TC incarnation's requests stay fenced across DC crashes.
+	KindEpochs
 )
+
+// TCEpoch is one entry of an epoch snapshot.
+type TCEpoch struct {
+	TC    base.TCID
+	Epoch base.Epoch
+}
+
+// Epochs is the payload of KindEpochs: the full per-TC epoch table at the
+// time of the bump (full snapshots keep replay trivially idempotent —
+// entries are applied with max semantics).
+type Epochs struct {
+	Epochs []TCEpoch
+}
 
 // CreateTree is the payload of KindCreateTree.
 type CreateTree struct {
@@ -126,6 +145,16 @@ func (r *RootCollapse) Encode() []byte {
 	buf := appendStr(nil, r.Table)
 	buf = binary.AppendUvarint(buf, uint64(r.OldRootID))
 	buf = binary.AppendUvarint(buf, uint64(r.NewRootID))
+	return buf
+}
+
+// Encode serializes the record payload.
+func (r *Epochs) Encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(r.Epochs)))
+	for _, e := range r.Epochs {
+		buf = binary.AppendUvarint(buf, uint64(e.TC))
+		buf = binary.AppendUvarint(buf, uint64(e.Epoch))
+	}
 	return buf
 }
 
@@ -229,6 +258,25 @@ func DecodeRootCollapse(buf []byte) (*RootCollapse, error) {
 	r.OldRootID = base.PageID(d.uvarint())
 	r.NewRootID = base.PageID(d.uvarint())
 	return r, d.err
+}
+
+// DecodeEpochs parses a KindEpochs payload.
+func DecodeEpochs(buf []byte) (*Epochs, error) {
+	d := reader{buf: buf}
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.buf)) { // each entry is >= 2 bytes
+		return nil, errCorrupt
+	}
+	r := &Epochs{Epochs: make([]TCEpoch, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		tc := base.TCID(d.uvarint())
+		ep := base.Epoch(d.uvarint())
+		if d.err != nil {
+			return nil, d.err
+		}
+		r.Epochs = append(r.Epochs, TCEpoch{TC: tc, Epoch: ep})
+	}
+	return r, nil
 }
 
 // Logger is what the B-tree needs from the DC's log manager to make

@@ -12,10 +12,13 @@ import (
 // (§4.1.1(3): "Undo logging in the TC will enable rollback … by providing
 // information TC can use to submit inverse logical operations").
 func encodeOpPayload(op *base.Op, prior []byte, priorFound bool) []byte {
-	saved := op.LSN
-	op.LSN = 0
+	saved, savedEpoch := op.LSN, op.Epoch
+	// LSN and epoch are zeroed in the payload: the record's own LSN is
+	// authoritative, and redo stamps the *restarted* incarnation's epoch —
+	// a logged (dead) epoch would be refused by the DC fence.
+	op.LSN, op.Epoch = 0, 0
 	buf := base.AppendOp(nil, op)
-	op.LSN = saved
+	op.LSN, op.Epoch = saved, savedEpoch
 	buf = binary.AppendUvarint(buf, uint64(len(prior)))
 	buf = append(buf, prior...)
 	if priorFound {
@@ -91,15 +94,41 @@ func decodeCommit(payload []byte) ([]tableKey, error) {
 	return out, nil
 }
 
-// Checkpoint-record payload: the redo scan start point.
-func encodeCheckpoint(rssp base.LSN) []byte {
-	return binary.AppendUvarint(nil, uint64(rssp))
+// Checkpoint-record payload: the redo scan start point plus the current
+// incarnation epoch. Carrying the epoch here guarantees the stable log
+// always holds the newest epoch even after truncation discards the
+// recEpoch record (a checkpoint appends its record before truncating).
+func encodeCheckpoint(rssp base.LSN, epoch base.Epoch) []byte {
+	buf := binary.AppendUvarint(nil, uint64(rssp))
+	return binary.AppendUvarint(buf, uint64(epoch))
 }
 
-func decodeCheckpoint(payload []byte) (base.LSN, error) {
+func decodeCheckpoint(payload []byte) (base.LSN, base.Epoch, error) {
 	u, w := binary.Uvarint(payload)
 	if w <= 0 {
-		return 0, fmt.Errorf("tc: corrupt checkpoint payload")
+		return 0, 0, fmt.Errorf("tc: corrupt checkpoint payload")
 	}
-	return base.LSN(u), nil
+	payload = payload[w:]
+	// Pre-epoch records end here; they decode with epoch zero.
+	if len(payload) == 0 {
+		return base.LSN(u), 0, nil
+	}
+	e, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return 0, 0, fmt.Errorf("tc: corrupt checkpoint payload")
+	}
+	return base.LSN(u), base.Epoch(e), nil
+}
+
+// Epoch-record payload: the minted incarnation epoch.
+func encodeEpoch(epoch base.Epoch) []byte {
+	return binary.AppendUvarint(nil, uint64(epoch))
+}
+
+func decodeEpoch(payload []byte) (base.Epoch, error) {
+	u, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return 0, fmt.Errorf("tc: corrupt epoch payload")
+	}
+	return base.Epoch(u), nil
 }

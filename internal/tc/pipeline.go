@@ -74,12 +74,13 @@ func (p *pending) wait() error {
 	return p.err
 }
 
-// pipeItem is one queued operation plus its transaction's barrier and the
-// TC incarnation that posted it.
+// pipeItem is one queued operation plus its transaction's barrier. The
+// incarnation that posted it is stamped on the op itself (op.Epoch, set
+// before the op's LSN was assigned), which is the same fence the DC
+// enforces — sync and pipelined paths share the one mechanism.
 type pipeItem struct {
 	op   *base.Op
 	pend *pending
-	gen  uint64
 }
 
 // pipeline is the per-DC shipping queue and its worker.
@@ -171,20 +172,18 @@ func (p *pipeline) ship(items []pipeItem) {
 	backoff := 200 * time.Microsecond
 	for {
 		// Deliver only items posted by the live incarnation: a batch parked
-		// in this retry loop across a TC.Crash must not reach the DC after
-		// recovery — its records vanished with the unforced log tail, so
-		// executing it would apply writes no undo covers and record reused
-		// LSNs in the abstract-LSN tables (poisoning the restarted TC's
-		// idempotence checks). A crash racing the send itself leaves a
-		// narrow window where a stale batch is already on the wire; that
-		// window is inherent to LSN reuse and shared with the synchronous
-		// path's in-flight resends (closing it needs a DC-side incarnation
-		// epoch — see ROADMAP). The gen check in complete at least keeps
-		// such acks out of the reset tracker.
-		gen := p.t.pipeGen.Load()
+		// in this retry loop across a TC crash+restart must not reach the DC
+		// — its records vanished with the unforced log tail, so executing it
+		// would apply writes no undo covers and record reused LSNs in the
+		// abstract-LSN tables (poisoning the restarted TC's idempotence
+		// checks). A batch already on the wire when the crash hit is beyond
+		// this check's reach; the DC-side epoch fence installed by
+		// BeginRestart refuses it there (CodeStaleEpoch), closing the window
+		// end to end. Both checks compare the same stamp: op.Epoch.
+		epoch := p.t.Epoch()
 		live := 0
 		for _, it := range items {
-			if it.gen != gen {
+			if it.op.Epoch != epoch {
 				it.pend.done(ErrTCStopped)
 				continue
 			}
@@ -243,14 +242,20 @@ func (p *pipeline) ship(items []pipeItem) {
 // complete feeds the ack tracker and retires the items. Items posted by a
 // prior TC incarnation (the TC crashed while the batch was on the wire)
 // must not touch the reset ack tracker: their LSN space is being reused.
+// A stale-epoch nack from the DC means the op never executed — the fence
+// fired mid-flight — so its LSN must not complete either; it surfaces as a
+// permanent barrier failure.
 func (p *pipeline) complete(items []pipeItem, results []*base.Result) {
-	gen := p.t.pipeGen.Load()
+	epoch := p.t.Epoch()
 	for i, it := range items {
 		res := results[i]
 		var err error
-		if it.gen != gen {
+		switch {
+		case it.op.Epoch != epoch:
 			err = ErrTCStopped
-		} else {
+		case res.Code == base.CodeStaleEpoch:
+			err = fmt.Errorf("tc: pipelined op fenced at DC: %v: %w", it.op, base.ErrStaleEpoch)
+		default:
 			p.t.acks.Complete(it.op.LSN)
 			if res.Code != base.CodeOK {
 				// Cannot happen given the pre-check + X-lock invariant;
@@ -262,14 +267,15 @@ func (p *pipeline) complete(items []pipeItem, results []*base.Result) {
 	}
 }
 
-// postOp routes op to its DC pipeline on behalf of x. gen must have been
-// read from pipeGen *before* the op's LSN was assigned: a Crash racing the
-// post bumps the generation first, so an op whose LSN belongs to the dead
-// incarnation's log can never carry the new generation and feed its ack
-// into the reset tracker under a reused LSN.
-func (t *TC) postOp(x *Txn, op *base.Op, gen uint64) {
+// postOp routes op to its DC pipeline on behalf of x. op.Epoch must have
+// been stamped *before* the op's LSN was assigned: a crash+restart racing
+// the post mints the new epoch before the reused LSN space is handed out,
+// so an op whose LSN belongs to the dead incarnation's log can never carry
+// the live epoch and feed its ack into the reset tracker under a reused
+// LSN (nor pass the DC's fence).
+func (t *TC) postOp(x *Txn, op *base.Op) {
 	x.pend.add()
-	t.pipes[t.route(op.Table, op.Key)].post(pipeItem{op: op, pend: &x.pend, gen: gen})
+	t.pipes[t.route(op.Table, op.Key)].post(pipeItem{op: op, pend: &x.pend})
 }
 
 // pipelined reports whether writes ship asynchronously.

@@ -13,10 +13,11 @@ import (
 // lock table, transaction table, ack bookkeeping, and queued pipeline
 // operations vanish. The stable log survives. LSNs above the stable end
 // will be reused by the restarted incarnation — the DC-side reset protocol
-// (§5.3.2) makes that safe; bumping pipeGen first keeps batches already on
-// the wire from feeding acks into the reset tracker under reused LSNs.
+// (§5.3.2) makes that safe. The epoch fence activates when Recover mints
+// the next incarnation; anything a zombie call completes into the tracker
+// before then is wiped by recovery's re-base, and anything it delivers to
+// a DC before then is swept by BeginRestart.
 func (t *TC) Crash() {
-	t.pipeGen.Add(1)
 	for _, p := range t.pipes {
 		p.drop()
 	}
@@ -61,14 +62,24 @@ func (t *TC) Recover() error {
 	losers := make(map[base.TxnID]*loser)
 	var winnersVersioned [][]tableKey
 	maxTxn := uint64(0)
+	maxEpoch := base.Epoch(0)
 	for _, rec := range records {
 		if uint64(rec.Txn) > maxTxn {
 			maxTxn = uint64(rec.Txn)
 		}
 		switch rec.Kind {
 		case recCheckpoint:
-			if r, err := decodeCheckpoint(rec.Payload); err == nil && r > rssp {
-				rssp = r
+			if r, e, err := decodeCheckpoint(rec.Payload); err == nil {
+				if r > rssp {
+					rssp = r
+				}
+				if e > maxEpoch {
+					maxEpoch = e
+				}
+			}
+		case recEpoch:
+			if e, err := decodeEpoch(rec.Payload); err == nil && e > maxEpoch {
+				maxEpoch = e
 			}
 		case recOp, recCLR:
 			if rec.Txn != 0 {
@@ -94,9 +105,25 @@ func (t *TC) Recover() error {
 	t.nextTxn = maxTxn
 	t.mu.Unlock()
 
-	// --- DC reset (§5.3.2): drop cached effects beyond the stable log ---
+	// --- mint the new incarnation epoch and force it before anything is
+	// stamped with it. The stable log always names the newest prior epoch
+	// (every mint is forced, and checkpoint records carry it across
+	// truncation), so strict monotonicity holds across any crash pattern;
+	// max-ing with the in-memory value is belt and braces.
+	newEpoch := maxEpoch
+	if cur := base.Epoch(t.epoch.Load()); cur > newEpoch {
+		newEpoch = cur
+	}
+	newEpoch++
+	t.epoch.Store(uint64(newEpoch))
+	epochLSN := t.log.AppendAssign(&wal.Record{Kind: recEpoch, Payload: encodeEpoch(newEpoch)})
+	t.log.ForceTo(epochLSN)
+
+	// --- DC reset (§5.3.2): drop cached effects beyond the stable log and
+	// install the new epoch as the fence, so the dead incarnation's
+	// requests still on the wire can never execute after this point.
 	for _, h := range t.dcs {
-		if err := h.svc.BeginRestart(t.cfg.ID, stableEnd); err != nil {
+		if err := h.svc.BeginRestart(t.cfg.ID, newEpoch, stableEnd); err != nil {
 			return fmt.Errorf("tc %d: begin restart: %w", t.cfg.ID, err)
 		}
 	}
@@ -114,6 +141,7 @@ func (t *TC) Recover() error {
 			return fmt.Errorf("tc %d: redo decode @%d: %w", t.cfg.ID, rec.LSN, err)
 		}
 		op.LSN = rec.LSN
+		op.Epoch = newEpoch // resent by (and under the fence of) this incarnation
 		h := t.dcs[t.route(op.Table, op.Key)]
 		if res := h.svc.Perform(op); res.Code != base.CodeOK &&
 			res.Code != base.CodeDuplicate && res.Code != base.CodeNotFound {
@@ -124,8 +152,11 @@ func (t *TC) Recover() error {
 
 	// Redo is complete: every allocated LSN at or below the stable end is
 	// accounted for (replayed or void), so the low-water mark restarts
-	// there; the DCs reset their own LWM state in BeginRestart.
+	// there; the DCs reset their own LWM state in BeginRestart. The epoch
+	// record appended above sits just past the stable end and needs no DC
+	// round trip, so it completes immediately after the re-base.
 	t.acks.Reset(stableEnd)
+	t.acks.Complete(epochLSN)
 	t.mu.Lock()
 	t.down = false
 	t.mu.Unlock()
@@ -144,6 +175,7 @@ func (t *TC) Recover() error {
 			op := &base.Op{TC: t.cfg.ID, Kind: base.OpCommitVersions,
 				Table: tk.table, Key: tk.key}
 			rec := &wal.Record{Kind: recOp, Payload: encodeOpPayload(op, nil, false)}
+			op.Epoch = newEpoch
 			op.LSN = t.log.AppendAssign(rec)
 			t.perform(op)
 		}
@@ -151,9 +183,10 @@ func (t *TC) Recover() error {
 	t.log.Force()
 	t.broadcastWatermarks()
 
-	// --- contract: restart complete, normal processing resumes ---
+	// --- contract: restart complete, normal processing resumes — the DCs
+	// activate the staged epoch and discard the dead incarnation's leftovers.
 	for _, h := range t.dcs {
-		if err := h.svc.EndRestart(t.cfg.ID); err != nil {
+		if err := h.svc.EndRestart(t.cfg.ID, newEpoch); err != nil {
 			return fmt.Errorf("tc %d: end restart: %w", t.cfg.ID, err)
 		}
 	}
@@ -195,6 +228,7 @@ func (t *TC) RecoverDC(idx int) error {
 			continue
 		}
 		op.LSN = rec.LSN
+		op.Epoch = t.Epoch()
 		if res := h.svc.Perform(op); res.Code != base.CodeOK &&
 			res.Code != base.CodeDuplicate && res.Code != base.CodeNotFound {
 			return fmt.Errorf("tc %d: dc-redo @%d failed: %v", t.cfg.ID, rec.LSN, res.Code)

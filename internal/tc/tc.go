@@ -36,7 +36,8 @@ const (
 	recCLR                         // compensation: inverse logical operation
 	recCommit                      // transaction commit (+ versioned write set)
 	recAbort                       // transaction abort complete
-	recCheckpoint                  // redo scan start point advanced
+	recCheckpoint                  // redo scan start point advanced (+ epoch)
+	recEpoch                       // incarnation epoch minted at (re)start
 )
 
 // RangeProtocol selects the §3.1 range-locking strategy.
@@ -170,12 +171,18 @@ type TC struct {
 	acks *ackTracker
 
 	// pipes are the per-DC shipping pipelines (nil unless cfg.Pipeline).
-	// pipeGen numbers TC incarnations (bumped by every Crash, pipelined or
-	// not) so calls in flight across a crash — batches or synchronous
-	// performs — cannot feed the reset ack tracker (their LSN space is
-	// reused by the restarted incarnation).
-	pipes   []*pipeline
-	pipeGen atomic.Uint64
+	pipes []*pipeline
+
+	// epoch is the durable incarnation number: minted strictly larger on
+	// every (re)start and forced into the log *before* it is stamped on any
+	// operation, so no two incarnations — however they crash — ever share
+	// one. Every operation carries its incarnation's stamp (op.Epoch, set
+	// before the LSN is assigned), which serves as the TC-side generation
+	// fence for both the sync and pipelined paths — calls in flight across
+	// a crash cannot feed the reset ack tracker — and as the DC-side fence
+	// installed by BeginRestart that refuses requests of dead incarnations
+	// still on the wire (CodeStaleEpoch).
+	epoch atomic.Uint64
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -220,6 +227,14 @@ func New(cfg Config, dcs []base.Service, route func(table, key string) int) (*TC
 		rssp:       1,
 	}
 	t.locks.Timeout = cfg.LockTimeout
+	// Mint incarnation epoch 1 and force it before any operation can be
+	// stamped with it: a crash before this force would otherwise let a
+	// second incarnation mint the same epoch (the log would look empty),
+	// and the DC fence cannot tell two same-numbered incarnations apart.
+	t.epoch.Store(1)
+	eLSN := t.log.AppendAssign(&wal.Record{Kind: recEpoch, Payload: encodeEpoch(1)})
+	t.acks.Complete(eLSN) // local record: no DC round trip
+	t.log.ForceTo(eLSN)
 	for _, svc := range dcs {
 		t.dcs = append(t.dcs, newDCHandle(svc))
 	}
@@ -240,6 +255,10 @@ func New(cfg Config, dcs []base.Service, route func(table, key string) int) (*TC
 
 // ID returns the TC's identity.
 func (t *TC) ID() base.TCID { return t.cfg.ID }
+
+// Epoch returns the current incarnation epoch (1 for the first
+// incarnation; strictly increasing across restarts).
+func (t *TC) Epoch() base.Epoch { return base.Epoch(t.epoch.Load()) }
 
 // Log exposes the TC-log (experiments measure log volume and forces).
 func (t *TC) Log() *wal.Log { return t.log }
@@ -311,9 +330,10 @@ func (t *TC) watermarkLoop() {
 func (t *TC) broadcastWatermarks() {
 	eosl := t.log.EOSL()
 	lwm := t.acks.LWM()
+	epoch := t.Epoch()
 	for _, h := range t.dcs {
-		h.svc.EndOfStableLog(t.cfg.ID, eosl)
-		h.svc.LowWaterMark(t.cfg.ID, lwm)
+		h.svc.EndOfStableLog(t.cfg.ID, epoch, eosl)
+		h.svc.LowWaterMark(t.cfg.ID, epoch, lwm)
 	}
 	t.broadcastGen.Add(1)
 }
@@ -326,17 +346,23 @@ func (t *TC) isDown() bool {
 
 // perform routes and sends one operation, waiting for the reply, and feeds
 // the ack tracker (the source of low-water marks). Like the pipeline's
-// complete, the ack is generation-fenced: a zombie call whose reply lands
-// after a Crash+Recover must not complete an LSN the new incarnation is
-// reusing (the lsn <= lwm guard in the tracker only covers the at-or-
-// below-reset-base half of that race).
+// complete, the ack is epoch-fenced: a zombie call whose reply lands after
+// a Crash+Recover carries a dead incarnation's stamp and must not complete
+// an LSN the new incarnation is reusing (the lsn <= lwm guard in the
+// tracker only covers the at-or-below-reset-base half of that race). Ops
+// not yet stamped (reads and probes, whose LSNs carry no log record) are
+// stamped here; logged writes stamp before their LSN is assigned. A
+// CodeStaleEpoch reply means the op never executed, so its LSN must not
+// complete either.
 func (t *TC) perform(op *base.Op) *base.Result {
-	gen := t.pipeGen.Load()
+	if op.Epoch == 0 {
+		op.Epoch = t.Epoch()
+	}
 	h := t.dcs[t.route(op.Table, op.Key)]
 	h.waitReady()
 	t.opsSent.Add(1)
 	res := h.svc.Perform(op)
-	if gen == t.pipeGen.Load() {
+	if op.Epoch == t.Epoch() && res.Code != base.CodeStaleEpoch {
 		t.acks.Complete(op.LSN)
 	}
 	return res
@@ -364,7 +390,7 @@ func (t *TC) Checkpoint() (base.LSN, error) {
 	t.log.Force()
 	t.broadcastWatermarks()
 	for _, h := range t.dcs {
-		if err := h.svc.Checkpoint(t.cfg.ID, newRSSP); err != nil {
+		if err := h.svc.Checkpoint(t.cfg.ID, t.Epoch(), newRSSP); err != nil {
 			return 0, fmt.Errorf("tc %d: checkpoint: %w", t.cfg.ID, err)
 		}
 	}
@@ -373,7 +399,12 @@ func (t *TC) Checkpoint() (base.LSN, error) {
 	oldest := t.oldestActiveFirstLSNLocked()
 	t.mu.Unlock()
 
-	ckptLSN := t.log.AppendAssign(&wal.Record{Kind: recCheckpoint, Payload: encodeCheckpoint(newRSSP)})
+	// The checkpoint record carries the current epoch so that truncation
+	// (which may discard the recEpoch record) never erases the incarnation
+	// history: the newest checkpoint record always survives its own
+	// truncation.
+	ckptLSN := t.log.AppendAssign(&wal.Record{Kind: recCheckpoint,
+		Payload: encodeCheckpoint(newRSSP, t.Epoch())})
 	t.acks.Complete(ckptLSN) // local record: no DC round trip
 	t.log.Force()
 	// Truncate below both the RSSP (redo needs nothing older) and the

@@ -1,6 +1,7 @@
 package tc
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"reflect"
@@ -584,9 +585,19 @@ func TestPayloadRoundTrips(t *testing.T) {
 		t.Fatalf("empty commit payload: %v %v", err, empty)
 	}
 
-	r, err := decodeCheckpoint(encodeCheckpoint(12345))
-	if err != nil || r != 12345 {
-		t.Fatalf("checkpoint payload: %v %v", err, r)
+	r, e, err := decodeCheckpoint(encodeCheckpoint(12345, 7))
+	if err != nil || r != 12345 || e != 7 {
+		t.Fatalf("checkpoint payload: %v %v %v", err, r, e)
+	}
+	// Pre-epoch checkpoint payloads (bare RSSP varint) still decode.
+	r, e, err = decodeCheckpoint(binary.AppendUvarint(nil, 999))
+	if err != nil || r != 999 || e != 0 {
+		t.Fatalf("legacy checkpoint payload: %v %v %v", err, r, e)
+	}
+
+	ep, err := decodeEpoch(encodeEpoch(42))
+	if err != nil || ep != 42 {
+		t.Fatalf("epoch payload: %v %v", err, ep)
 	}
 }
 

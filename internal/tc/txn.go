@@ -274,11 +274,11 @@ func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
 		Value: val, Versioned: x.useVersions}
 	rec := &wal.Record{Kind: recOp, Txn: x.id, Prev: x.lastLSN,
 		Payload: encodeOpPayload(op, prior, priorFound)}
-	gen := x.tc.pipeGen.Load() // before the LSN assignment; see postOp
+	op.Epoch = x.tc.Epoch() // before the LSN assignment; see postOp
 	lsn := x.tc.log.AppendAssign(rec)
 	op.LSN = lsn
 	if x.tc.pipelined() {
-		x.tc.postOp(x, op, gen)
+		x.tc.postOp(x, op)
 	} else {
 		res := x.tc.perform(op)
 		if res.Code != base.CodeOK {
@@ -374,10 +374,10 @@ func (x *Txn) finalizeOp(kind base.OpKind, tk tableKey) {
 	op := &base.Op{TC: t.cfg.ID, Kind: kind, Table: tk.table, Key: tk.key}
 	rec := &wal.Record{Kind: recOp, Txn: x.id, Prev: 0,
 		Payload: encodeOpPayload(op, nil, false)}
-	gen := t.pipeGen.Load() // before the LSN assignment; see postOp
+	op.Epoch = t.Epoch() // before the LSN assignment; see postOp
 	op.LSN = t.log.AppendAssign(rec)
 	if t.pipelined() {
-		t.postOp(x, op, gen)
+		t.postOp(x, op)
 	} else {
 		t.perform(op)
 	}
@@ -428,6 +428,7 @@ func (t *TC) undoChain(txn base.TxnID, lastLSN base.LSN) {
 			if inv := inverseOp(op, prior, priorFound); inv != nil {
 				clr := &wal.Record{Kind: recCLR, Txn: txn, Prev: cur,
 					NextUndo: rec.Prev, Payload: encodeOpPayload(inv, nil, false)}
+				inv.Epoch = t.Epoch() // before the LSN assignment; see postOp
 				inv.LSN = t.log.AppendAssign(clr)
 				t.perform(inv)
 				t.undoOps.Add(1)

@@ -16,6 +16,7 @@ package wire
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,15 +107,16 @@ const (
 )
 
 type message struct {
-	kind msgKind
-	id   uint64
-	tc   base.TCID
-	lsn  base.LSN
-	body []byte // encoded op (perform) or encoded result (reply)
-	err  string // control-reply failure
+	kind  msgKind
+	id    uint64
+	tc    base.TCID
+	epoch base.Epoch // sender incarnation (control and watermark messages)
+	lsn   base.LSN
+	body  []byte // encoded op (perform) or encoded result (reply)
+	err   string // control-reply failure
 }
 
-func (m *message) size() int { return 24 + len(m.body) + len(m.err) }
+func (m *message) size() int { return 32 + len(m.body) + len(m.err) }
 
 // deliver schedules msg into dst applying delay/jitter/loss/duplication.
 // The misbehaviour RNG is per destination endpoint, so concurrent senders
@@ -235,15 +237,15 @@ func (s *Server) run() {
 			case msgPerformBatch:
 				go s.performBatch(m)
 			case msgEOSL:
-				s.svc.EndOfStableLog(m.tc, m.lsn)
+				s.svc.EndOfStableLog(m.tc, m.epoch, m.lsn)
 			case msgLWM:
-				s.svc.LowWaterMark(m.tc, m.lsn)
+				s.svc.LowWaterMark(m.tc, m.epoch, m.lsn)
 			case msgCheckpoint:
-				go s.control(m, func() error { return s.svc.Checkpoint(m.tc, m.lsn) })
+				go s.control(m, func() error { return s.svc.Checkpoint(m.tc, m.epoch, m.lsn) })
 			case msgBeginRestart:
-				go s.control(m, func() error { return s.svc.BeginRestart(m.tc, m.lsn) })
+				go s.control(m, func() error { return s.svc.BeginRestart(m.tc, m.epoch, m.lsn) })
 			case msgEndRestart:
-				go s.control(m, func() error { return s.svc.EndRestart(m.tc) })
+				go s.control(m, func() error { return s.svc.EndRestart(m.tc, m.epoch) })
 			}
 		}
 	}
@@ -354,7 +356,7 @@ func (c *Client) run() {
 
 // call sends m (with a fresh correlation id per attempt) and resends until
 // a reply arrives.
-func (c *Client) call(kind msgKind, tc base.TCID, lsn base.LSN, body []byte) *message {
+func (c *Client) call(kind msgKind, tc base.TCID, epoch base.Epoch, lsn base.LSN, body []byte) *message {
 	resend := c.net.cfg.resendAfter()
 	attempt := 0
 	for {
@@ -363,7 +365,7 @@ func (c *Client) call(kind msgKind, tc base.TCID, lsn base.LSN, body []byte) *me
 		c.mu.Lock()
 		c.waiters[id] = ch
 		c.mu.Unlock()
-		c.net.deliver(c.out, &message{kind: kind, id: id, tc: tc, lsn: lsn, body: body})
+		c.net.deliver(c.out, &message{kind: kind, id: id, tc: tc, epoch: epoch, lsn: lsn, body: body})
 		if attempt > 0 {
 			c.net.resends.Add(1)
 		}
@@ -397,7 +399,7 @@ func (c *Client) call(kind msgKind, tc base.TCID, lsn base.LSN, body []byte) *me
 func (c *Client) Perform(op *base.Op) *base.Result {
 	body := base.AppendOp(nil, op)
 	for {
-		reply := c.call(msgPerform, op.TC, op.LSN, body)
+		reply := c.call(msgPerform, op.TC, op.Epoch, op.LSN, body)
 		if reply.err != "" {
 			return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
 		}
@@ -406,6 +408,8 @@ func (c *Client) Perform(op *base.Op) *base.Result {
 		if err != nil {
 			return &base.Result{LSN: op.LSN, Code: base.CodeBadRequest}
 		}
+		// CodeStaleEpoch is a permanent nack (the sender's incarnation was
+		// fenced by a restart): returned as-is, never retried.
 		if res.Code == base.CodeUnavailable {
 			// DC up but still recovering; retry after a pause (which a
 			// concurrent Close cuts short).
@@ -436,7 +440,7 @@ func (c *Client) PerformBatch(ops []*base.Op) []*base.Result {
 		return rs
 	}
 	for {
-		reply := c.call(msgPerformBatch, ops[0].TC, ops[0].LSN, body)
+		reply := c.call(msgPerformBatch, ops[0].TC, ops[0].Epoch, ops[0].LSN, body)
 		if reply.err != "" {
 			return fail(base.CodeUnavailable)
 		}
@@ -476,32 +480,37 @@ func (c *Client) pause() bool {
 
 // EndOfStableLog implements base.Service as fire-and-forget; the TC
 // re-broadcasts the watermark periodically, so loss only delays pruning.
-func (c *Client) EndOfStableLog(tc base.TCID, eosl base.LSN) {
-	c.net.deliver(c.out, &message{kind: msgEOSL, tc: tc, lsn: eosl})
+func (c *Client) EndOfStableLog(tc base.TCID, epoch base.Epoch, eosl base.LSN) {
+	c.net.deliver(c.out, &message{kind: msgEOSL, tc: tc, epoch: epoch, lsn: eosl})
 }
 
 // LowWaterMark implements base.Service as fire-and-forget.
-func (c *Client) LowWaterMark(tc base.TCID, lwm base.LSN) {
-	c.net.deliver(c.out, &message{kind: msgLWM, tc: tc, lsn: lwm})
+func (c *Client) LowWaterMark(tc base.TCID, epoch base.Epoch, lwm base.LSN) {
+	c.net.deliver(c.out, &message{kind: msgLWM, tc: tc, epoch: epoch, lsn: lwm})
 }
 
 // Checkpoint implements base.Service with resend until acknowledged.
-func (c *Client) Checkpoint(tc base.TCID, newRSSP base.LSN) error {
-	return c.controlErr(c.call(msgCheckpoint, tc, newRSSP, nil))
+func (c *Client) Checkpoint(tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
+	return c.controlErr(c.call(msgCheckpoint, tc, epoch, newRSSP, nil))
 }
 
 // BeginRestart implements base.Service with resend until acknowledged.
-func (c *Client) BeginRestart(tc base.TCID, stableLSN base.LSN) error {
-	return c.controlErr(c.call(msgBeginRestart, tc, stableLSN, nil))
+func (c *Client) BeginRestart(tc base.TCID, epoch base.Epoch, stableLSN base.LSN) error {
+	return c.controlErr(c.call(msgBeginRestart, tc, epoch, stableLSN, nil))
 }
 
 // EndRestart implements base.Service with resend until acknowledged.
-func (c *Client) EndRestart(tc base.TCID) error {
-	return c.controlErr(c.call(msgEndRestart, tc, 0, nil))
+func (c *Client) EndRestart(tc base.TCID, epoch base.Epoch) error {
+	return c.controlErr(c.call(msgEndRestart, tc, epoch, 0, nil))
 }
 
 func (c *Client) controlErr(reply *message) error {
 	if reply.err != "" {
+		// Control failures cross the wire as strings; rehydrate the typed
+		// stale-epoch error so errors.Is keeps working through the stub.
+		if strings.Contains(reply.err, base.ErrStaleEpoch.Error()) {
+			return fmt.Errorf("wire: %s: %w", reply.err, base.ErrStaleEpoch)
+		}
 		return fmt.Errorf("wire: %s", reply.err)
 	}
 	return nil

@@ -13,12 +13,13 @@ import (
 // echoService is a minimal base.Service that records idempotence-relevant
 // state: each LSN is applied once; duplicates are reported via Applied.
 type echoService struct {
-	mu      sync.Mutex
-	applied map[base.LSN]int
-	eosl    base.LSN
-	lwm     base.LSN
-	ckpts   []base.LSN
-	unavail atomic.Bool
+	mu       sync.Mutex
+	applied  map[base.LSN]int
+	eosl     base.LSN
+	lwm      base.LSN
+	ckpts    []base.LSN
+	restarts []base.Epoch
+	unavail  atomic.Bool
 }
 
 func newEchoService() *echoService {
@@ -44,7 +45,7 @@ func (s *echoService) PerformBatch(ops []*base.Op) []*base.Result {
 	return out
 }
 
-func (s *echoService) EndOfStableLog(tc base.TCID, eosl base.LSN) {
+func (s *echoService) EndOfStableLog(tc base.TCID, epoch base.Epoch, eosl base.LSN) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if eosl > s.eosl {
@@ -52,7 +53,7 @@ func (s *echoService) EndOfStableLog(tc base.TCID, eosl base.LSN) {
 	}
 }
 
-func (s *echoService) LowWaterMark(tc base.TCID, lwm base.LSN) {
+func (s *echoService) LowWaterMark(tc base.TCID, epoch base.Epoch, lwm base.LSN) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if lwm > s.lwm {
@@ -60,15 +61,21 @@ func (s *echoService) LowWaterMark(tc base.TCID, lwm base.LSN) {
 	}
 }
 
-func (s *echoService) Checkpoint(tc base.TCID, newRSSP base.LSN) error {
+func (s *echoService) Checkpoint(tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ckpts = append(s.ckpts, newRSSP)
 	return nil
 }
 
-func (s *echoService) BeginRestart(tc base.TCID, stableLSN base.LSN) error { return nil }
-func (s *echoService) EndRestart(tc base.TCID) error                       { return nil }
+func (s *echoService) BeginRestart(tc base.TCID, epoch base.Epoch, stableLSN base.LSN) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.restarts = append(s.restarts, epoch)
+	return nil
+}
+
+func (s *echoService) EndRestart(tc base.TCID, epoch base.Epoch) error { return nil }
 
 func TestPerformPerfectNetwork(t *testing.T) {
 	n := NewNetwork(Config{})
@@ -126,7 +133,7 @@ func TestControlMessages(t *testing.T) {
 	defer cl.Close()
 	defer srv.Close()
 
-	if err := cl.Checkpoint(1, 55); err != nil {
+	if err := cl.Checkpoint(1, 3, 55); err != nil {
 		t.Fatal(err)
 	}
 	svc.mu.Lock()
@@ -135,10 +142,17 @@ func TestControlMessages(t *testing.T) {
 	if !ok {
 		t.Fatalf("checkpoint not delivered: %v", svc.ckpts)
 	}
-	if err := cl.BeginRestart(1, 10); err != nil {
+	if err := cl.BeginRestart(1, 4, 10); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.EndRestart(1); err != nil {
+	// The incarnation epoch must survive the trip (it is the DC-side fence).
+	svc.mu.Lock()
+	gotEpoch := len(svc.restarts) >= 1 && svc.restarts[0] == 4
+	svc.mu.Unlock()
+	if !gotEpoch {
+		t.Fatalf("begin-restart epoch not delivered: %v", svc.restarts)
+	}
+	if err := cl.EndRestart(1, 4); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -153,8 +167,8 @@ func TestEOSLAndLWMEventuallyArrive(t *testing.T) {
 	// Fire-and-forget with periodic re-broadcast (as the TC does).
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		cl.EndOfStableLog(1, 99)
-		cl.LowWaterMark(1, 88)
+		cl.EndOfStableLog(1, 1, 99)
+		cl.LowWaterMark(1, 1, 88)
 		time.Sleep(time.Millisecond)
 		svc.mu.Lock()
 		got := svc.eosl == 99 && svc.lwm == 88
@@ -361,6 +375,62 @@ func TestClientCloseDuringUnavailableRetryUnblocks(t *testing.T) {
 		}
 	case <-time.After(time.Second):
 		t.Fatal("Perform hung in unavailable-retry after client close")
+	}
+}
+
+// fencingService nacks every Perform with CodeStaleEpoch and fails
+// control calls with a wrapped base.ErrStaleEpoch, mimicking a DC whose
+// fence has moved past the caller's incarnation.
+type fencingService struct{ echoService }
+
+func (s *fencingService) Perform(op *base.Op) *base.Result {
+	return &base.Result{LSN: op.LSN, Code: base.CodeStaleEpoch}
+}
+
+func (s *fencingService) PerformBatch(ops []*base.Op) []*base.Result {
+	out := make([]*base.Result, len(ops))
+	for i, op := range ops {
+		out[i] = s.Perform(op)
+	}
+	return out
+}
+
+func (s *fencingService) Checkpoint(tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
+	return fmt.Errorf("dc x: epoch %d fenced: %w", epoch, base.ErrStaleEpoch)
+}
+
+func TestStaleEpochIsPermanentNack(t *testing.T) {
+	// Unlike CodeUnavailable, a stale-epoch reply must come straight back —
+	// no resend pause, no retry loop (epochs only move forward).
+	n := NewNetwork(Config{ResendAfter: time.Second})
+	svc := &fencingService{}
+	svc.applied = make(map[base.LSN]int)
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+
+	start := time.Now()
+	res := cl.Perform(&base.Op{TC: 1, Epoch: 1, LSN: 7, Kind: base.OpUpsert, Table: "t", Key: "k"})
+	if res.Code != base.CodeStaleEpoch {
+		t.Fatalf("res = %+v", res)
+	}
+	rs := cl.PerformBatch([]*base.Op{
+		{TC: 1, Epoch: 1, LSN: 8, Kind: base.OpUpsert, Table: "t", Key: "a"},
+		{TC: 1, Epoch: 1, LSN: 9, Kind: base.OpUpsert, Table: "t", Key: "b"},
+	})
+	for i, r := range rs {
+		if r.Code != base.CodeStaleEpoch {
+			t.Fatalf("batch result %d = %+v", i, r)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("stale-epoch nack was retried (%v elapsed)", elapsed)
+	}
+
+	// Typed control errors survive the string crossing: errors.Is works
+	// through the stub.
+	if err := cl.Checkpoint(1, 1, 10); !base.IsStaleEpoch(err) {
+		t.Fatalf("checkpoint error not rehydrated as stale-epoch: %v", err)
 	}
 }
 

@@ -49,6 +49,35 @@
 // while transaction latency drops from ops x RTT toward one RTT per batch.
 // Abort drains before sending inverse operations, and scans drain for
 // read-your-writes (point reads are answered by the transaction cache).
+//
+// # Restart safety: incarnation epochs
+//
+// A restarted TC reuses the LSN space above its stable log end (§5.3.2),
+// so a request the dead incarnation still had on the wire — a pipelined
+// batch, a synchronous resend, a watermark broadcast, even a checkpoint
+// call — must never take effect afterwards: its log record died with the
+// unforced tail, and executing it would both apply a write no undo covers
+// and record a reused LSN in the DC's abstract-LSN idempotence tables.
+//
+// Every TC therefore carries a monotonic incarnation epoch. It is minted
+// at startup and again by every recovery (strictly larger each time), and
+// forced into the TC-log before any operation is stamped with it; the
+// checkpoint records carry it too, so log truncation never loses the
+// incarnation history. Every operation and control call is stamped with
+// the sender's epoch. BeginRestart installs the new epoch at each DC as a
+// per-TC fence — durably, in the DC-log, before the cache reset runs — and
+// from that moment the DC refuses anything stamped with an older epoch:
+// operations nack permanently with CodeStaleEpoch (never retried; the
+// pipeline surfaces ErrStaleEpoch at the barrier), stale watermark
+// broadcasts are dropped, and stale control calls fail with ErrStaleEpoch.
+// EndRestart atomically activates the staged epoch and discards whatever
+// the dead incarnation still had queued inside the DC. The same epoch
+// stamp doubles as the TC-side generation fence: acknowledgements of a
+// dead incarnation's calls can never feed the restarted ack tracker. The
+// fence survives DC crashes (epoch snapshots are replayed from the DC-log
+// before any operation is served, and truncation re-logs them), making
+// restart correctness independent of timing on a lossy, reordering,
+// duplicating network.
 package unbundled
 
 import (
