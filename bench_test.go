@@ -9,6 +9,7 @@
 package unbundled_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -67,9 +68,9 @@ func unbundledTxnBench(b *testing.B, net *wire.Config) {
 	}
 	defer dep.Close()
 	g := workload.KV{Keys: 4096, ReadFrac: 0.5, OpsPerTxn: 4, Seed: 1}.NewGen(0)
-	tcx := dep.TCs[0]
+	client := dep.Client()
 	kvTxnBench(b, func(i int) error {
-		return tcx.RunTxn(false, func(x *tc.Txn) error {
+		return client.RunTxn(context.Background(), core.TxnOptions{}, func(x *tc.Txn) error {
 			for j := 0; j < g.OpsPerTxn(); j++ {
 				if g.IsRead() {
 					_, _, err := x.Read("kv", g.Key())
@@ -105,9 +106,9 @@ func pipelinedTxnBench(b *testing.B, pipeline bool) {
 	}
 	defer dep.Close()
 	g := workload.KV{Keys: 4096, ReadFrac: 0, OpsPerTxn: 4, Seed: 1}.NewGen(0)
-	tcx := dep.TCs[0]
+	client := dep.Client()
 	kvTxnBench(b, func(i int) error {
-		return tcx.RunTxn(true, func(x *tc.Txn) error {
+		return client.RunTxn(context.Background(), core.TxnOptions{Versioned: true}, func(x *tc.Txn) error {
 			for j := 0; j < g.OpsPerTxn(); j++ {
 				if err := x.Upsert("kv", g.Key(), g.Value()); err != nil {
 					return err
@@ -166,9 +167,14 @@ func BenchmarkFig1Architecture(b *testing.B) {
 // --- Figure 2 / §6.3: per-workload movie-site benchmarks ---------------
 
 type movieEnv struct {
-	dep    *core.Deployment
+	client *core.Client
 	p      workload.MoviePlacement
-	reader *tc.TC
+	reader core.TxnOptions
+}
+
+// ownerOpts pins a transaction to the TC owning user u (1-based TC IDs).
+func (e *movieEnv) ownerOpts(u int, versioned bool) core.TxnOptions {
+	return core.TxnOptions{TC: e.p.OwnerTC(u, 2) + 1, Versioned: versioned}
 }
 
 func newMovieEnv(b *testing.B) *movieEnv {
@@ -179,7 +185,8 @@ func newMovieEnv(b *testing.B) *movieEnv {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := dep.TCs[0].RunTxn(false, func(x *tc.Txn) error {
+	client := dep.Client()
+	if err := client.RunTxn(context.Background(), core.TxnOptions{TC: 1}, func(x *tc.Txn) error {
 		for m := 0; m < p.Movies; m++ {
 			if err := x.Upsert(workload.TableMovies, workload.MovieKey(m), []byte("m")); err != nil {
 				return err
@@ -190,15 +197,15 @@ func newMovieEnv(b *testing.B) *movieEnv {
 		b.Fatal(err)
 	}
 	for u := 0; u < p.Users; u++ {
-		owner := dep.TCs[p.OwnerTC(u, 2)]
-		if err := owner.RunTxn(true, func(x *tc.Txn) error {
+		owner := core.TxnOptions{TC: p.OwnerTC(u, 2) + 1, Versioned: true}
+		if err := client.RunTxn(context.Background(), owner, func(x *tc.Txn) error {
 			return x.Upsert(workload.TableUsers, workload.UserKey(u), []byte("p"))
 		}); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.Cleanup(dep.Close)
-	return &movieEnv{dep: dep, p: p, reader: dep.TCs[2]}
+	return &movieEnv{client: client, p: p, reader: core.TxnOptions{TC: 3, ReadOnly: true}}
 }
 
 func BenchmarkFig2MovieW1(b *testing.B) {
@@ -206,8 +213,7 @@ func BenchmarkFig2MovieW1(b *testing.B) {
 	// Seed some reviews to read.
 	for i := 0; i < 500; i++ {
 		u, m := i%env.p.Users, i%env.p.Movies
-		owner := env.dep.TCs[env.p.OwnerTC(u, 2)]
-		if err := owner.RunTxn(true, func(x *tc.Txn) error {
+		if err := env.client.RunTxn(context.Background(), env.ownerOpts(u, true), func(x *tc.Txn) error {
 			return x.Upsert(workload.TableReviews, workload.ReviewKey(m, u), []byte("r"))
 		}); err != nil {
 			b.Fatal(err)
@@ -216,7 +222,7 @@ func BenchmarkFig2MovieW1(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		prefix := workload.MovieKey(i%env.p.Movies) + "/"
-		if err := env.reader.RunTxn(false, func(x *tc.Txn) error {
+		if err := env.client.RunTxn(context.Background(), env.reader, func(x *tc.Txn) error {
 			_, _, err := x.ScanCommitted(workload.TableReviews, prefix, prefix+"~", 0)
 			return err
 		}); err != nil {
@@ -230,9 +236,8 @@ func BenchmarkFig2MovieW2(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u, m := i%env.p.Users, (i*7)%env.p.Movies
-		owner := env.dep.TCs[env.p.OwnerTC(u, 2)]
 		review := []byte(fmt.Sprintf("review-%d", i))
-		if err := owner.RunTxn(true, func(x *tc.Txn) error {
+		if err := env.client.RunTxn(context.Background(), env.ownerOpts(u, true), func(x *tc.Txn) error {
 			if err := x.Upsert(workload.TableReviews, workload.ReviewKey(m, u), review); err != nil {
 				return err
 			}
@@ -248,8 +253,7 @@ func BenchmarkFig2MovieW3(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u := i % env.p.Users
-		owner := env.dep.TCs[env.p.OwnerTC(u, 2)]
-		if err := owner.RunTxn(true, func(x *tc.Txn) error {
+		if err := env.client.RunTxn(context.Background(), env.ownerOpts(u, true), func(x *tc.Txn) error {
 			return x.Upsert(workload.TableUsers, workload.UserKey(u),
 				[]byte(fmt.Sprintf("profile-%d", i)))
 		}); err != nil {
@@ -262,8 +266,7 @@ func BenchmarkFig2MovieW4(b *testing.B) {
 	env := newMovieEnv(b)
 	for i := 0; i < 500; i++ {
 		u, m := i%env.p.Users, i%env.p.Movies
-		owner := env.dep.TCs[env.p.OwnerTC(u, 2)]
-		if err := owner.RunTxn(true, func(x *tc.Txn) error {
+		if err := env.client.RunTxn(context.Background(), env.ownerOpts(u, true), func(x *tc.Txn) error {
 			return x.Upsert(workload.TableMyReviews, workload.MyReviewKey(u, m), []byte("r"))
 		}); err != nil {
 			b.Fatal(err)
@@ -272,9 +275,8 @@ func BenchmarkFig2MovieW4(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u := i % env.p.Users
-		owner := env.dep.TCs[env.p.OwnerTC(u, 2)]
 		prefix := workload.UserKey(u) + "/"
-		if err := owner.RunTxn(false, func(x *tc.Txn) error {
+		if err := env.client.RunTxn(context.Background(), env.ownerOpts(u, false), func(x *tc.Txn) error {
 			_, _, err := x.Scan(workload.TableMyReviews, prefix, prefix+"~", 0)
 			return err
 		}); err != nil {
@@ -292,9 +294,9 @@ func BenchmarkDCCrashRecovery(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer dep.Close()
-	tcx := dep.TCs[0]
+	client := dep.Client()
 	for i := 0; i < 2000; i++ {
-		if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+		if err := client.RunTxn(context.Background(), core.TxnOptions{}, func(x *tc.Txn) error {
 			return x.Upsert("kv", workload.KVKey(i), []byte("v"))
 		}); err != nil {
 			b.Fatal(err)
@@ -315,9 +317,9 @@ func BenchmarkTCCrashRecovery(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer dep.Close()
-	tcx := dep.TCs[0]
+	client := dep.Client()
 	for i := 0; i < 2000; i++ {
-		if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+		if err := client.RunTxn(context.Background(), core.TxnOptions{}, func(x *tc.Txn) error {
 			return x.Upsert("kv", workload.KVKey(i), []byte("v"))
 		}); err != nil {
 			b.Fatal(err)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -40,7 +41,9 @@ func main() {
 	defer dep.Close()
 
 	fmt.Printf("deployment: %d updating TCs + 1 reader TC over %d DCs\n", updateTCs, 3)
-	seed(dep, p, updateTCs)
+	ctx := context.Background()
+	client := dep.Client()
+	seed(ctx, client, p, updateTCs)
 
 	var w1, w2, w3, w4, errs atomic.Uint64
 	stop := make(chan struct{})
@@ -50,7 +53,8 @@ func main() {
 		go func(g int) {
 			defer wg.Done()
 			rnd := rand.New(rand.NewSource(int64(g) + 7))
-			reader := dep.TCs[updateTCs]
+			// 1-based TC IDs: the reader TC follows the updating TCs.
+			reader := core.TxnOptions{TC: updateTCs + 1, ReadOnly: true}
 			for {
 				select {
 				case <-stop:
@@ -59,19 +63,20 @@ func main() {
 				}
 				u := rnd.Intn(p.Users)
 				m := rnd.Intn(p.Movies)
-				owner := dep.TCs[p.OwnerTC(u, updateTCs)]
+				owner := core.TxnOptions{TC: p.OwnerTC(u, updateTCs) + 1}
+				ownerV := core.TxnOptions{TC: owner.TC, Versioned: true}
 				var err error
 				switch rnd.Intn(10) {
 				case 0, 1, 2, 3, 4, 5: // W1 dominates (reads are most common, §6.3)
 					prefix := workload.MovieKey(m) + "/"
-					err = reader.RunTxn(false, func(x *tc.Txn) error {
+					err = client.RunTxn(ctx, reader, func(x *tc.Txn) error {
 						_, _, e := x.ScanCommitted(workload.TableReviews, prefix, prefix+"~", 0)
 						return e
 					})
 					w1.Add(1)
 				case 6, 7: // W2 add review
 					review := []byte(fmt.Sprintf("review m%d u%d", m, u))
-					err = owner.RunTxn(true, func(x *tc.Txn) error {
+					err = client.RunTxn(ctx, ownerV, func(x *tc.Txn) error {
 						if e := x.Upsert(workload.TableReviews, workload.ReviewKey(m, u), review); e != nil {
 							return e
 						}
@@ -79,14 +84,14 @@ func main() {
 					})
 					w2.Add(1)
 				case 8: // W3 update profile
-					err = owner.RunTxn(true, func(x *tc.Txn) error {
+					err = client.RunTxn(ctx, ownerV, func(x *tc.Txn) error {
 						return x.Upsert(workload.TableUsers, workload.UserKey(u),
 							[]byte(fmt.Sprintf("profile-%d@%d", u, time.Now().UnixNano())))
 					})
 					w3.Add(1)
 				case 9: // W4 my reviews
 					prefix := workload.UserKey(u) + "/"
-					err = owner.RunTxn(false, func(x *tc.Txn) error {
+					err = client.RunTxn(ctx, owner, func(x *tc.Txn) error {
 						_, _, e := x.Scan(workload.TableMyReviews, prefix, prefix+"~", 0)
 						return e
 					})
@@ -139,8 +144,8 @@ func main() {
 	}
 }
 
-func seed(dep *core.Deployment, p workload.MoviePlacement, updateTCs int) {
-	if err := dep.TCs[0].RunTxn(false, func(x *tc.Txn) error {
+func seed(ctx context.Context, client *core.Client, p workload.MoviePlacement, updateTCs int) {
+	if err := client.RunTxn(ctx, core.TxnOptions{TC: 1}, func(x *tc.Txn) error {
 		for m := 0; m < p.Movies; m++ {
 			if err := x.Upsert(workload.TableMovies, workload.MovieKey(m),
 				[]byte(fmt.Sprintf("movie-%d", m))); err != nil {
@@ -153,8 +158,8 @@ func seed(dep *core.Deployment, p workload.MoviePlacement, updateTCs int) {
 		os.Exit(1)
 	}
 	for u := 0; u < p.Users; u++ {
-		owner := dep.TCs[p.OwnerTC(u, updateTCs)]
-		if err := owner.RunTxn(true, func(x *tc.Txn) error {
+		owner := core.TxnOptions{TC: p.OwnerTC(u, updateTCs) + 1, Versioned: true}
+		if err := client.RunTxn(ctx, owner, func(x *tc.Txn) error {
 			return x.Upsert(workload.TableUsers, workload.UserKey(u),
 				[]byte(fmt.Sprintf("profile-%d", u)))
 		}); err != nil {

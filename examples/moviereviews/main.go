@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,22 +28,29 @@ func main() {
 		log.Fatal(err)
 	}
 	defer dep.Close()
-	tc1, tc2, reader := dep.TCs[0], dep.TCs[1], dep.TCs[2]
+	ctx := context.Background()
+	client := dep.Client()
+	// TC pins (1-based TC IDs): the updating TCs own disjoint user
+	// partitions, the reader TC serves W1/W4-style reads.
+	tc1 := unbundled.TxnOptions{TC: 1}
+	tc1v := unbundled.TxnOptions{TC: 1, Versioned: true}
+	tc2v := unbundled.TxnOptions{TC: 2, Versioned: true}
+	reader := unbundled.TxnOptions{TC: 3, ReadOnly: true}
 
 	// Seed a movie and two users (one per updating TC).
-	must(tc1.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, tc1, func(x *unbundled.Txn) error {
 		return x.Insert(workload.TableMovies, workload.MovieKey(1), []byte("The Kernel"))
 	}))
-	must(tc1.RunTxn(true, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, tc1v, func(x *unbundled.Txn) error {
 		return x.Insert(workload.TableUsers, workload.UserKey(2), []byte("user-2 (even: TC1)"))
 	}))
-	must(tc2.RunTxn(true, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, tc2v, func(x *unbundled.Txn) error {
 		return x.Insert(workload.TableUsers, workload.UserKey(3), []byte("user-3 (odd: TC2)"))
 	}))
 
 	// W2 at TC1: user 2 reviews movie 1 — Reviews row on a movie DC,
 	// MyReviews row on the user DC, one local transaction.
-	must(tc1.RunTxn(true, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, tc1v, func(x *unbundled.Txn) error {
 		review := []byte("5 stars, very well-formed B-trees")
 		if err := x.Insert(workload.TableReviews, workload.ReviewKey(1, 2), review); err != nil {
 			return err
@@ -52,13 +60,14 @@ func main() {
 	fmt.Println("W2: user 2 reviewed movie 1 (one txn, two DCs, zero 2PC)")
 
 	// Leave an UNCOMMITTED review from user 3 in flight at TC2.
-	inflight := tc2.Begin(true)
+	inflight, err := client.Begin(ctx, tc2v)
+	must(err)
 	must(inflight.Insert(workload.TableReviews, workload.ReviewKey(1, 3),
 		[]byte("draft: 1 star, pages too small")))
 
 	// W1 at the reader TC: committed reviews only — the draft is
 	// invisible, and the read never blocks on TC2's in-flight write.
-	must(reader.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, reader, func(x *unbundled.Txn) error {
 		prefix := workload.MovieKey(1) + "/"
 		keys, vals, err := x.ScanCommitted(workload.TableReviews, prefix, prefix+"~", 0)
 		if err != nil {
@@ -75,7 +84,7 @@ func main() {
 	}))
 
 	// The dirty-read flavor CAN see the draft (§6.2.1) — sometimes useful.
-	must(reader.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, reader, func(x *unbundled.Txn) error {
 		v, ok, err := x.ReadDirty(workload.TableReviews, workload.ReviewKey(1, 3))
 		if err != nil {
 			return err
@@ -86,7 +95,7 @@ func main() {
 
 	// TC2 commits; the review becomes visible to committed readers.
 	must(inflight.Commit())
-	must(reader.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, reader, func(x *unbundled.Txn) error {
 		prefix := workload.MovieKey(1) + "/"
 		keys, _, err := x.ScanCommitted(workload.TableReviews, prefix, prefix+"~", 0)
 		if err != nil {
@@ -97,7 +106,7 @@ func main() {
 	}))
 
 	// W4 at TC1: user 2's own reviews from the clustered MyReviews copy.
-	must(tc1.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, tc1, func(x *unbundled.Txn) error {
 		prefix := workload.UserKey(2) + "/"
 		keys, _, err := x.Scan(workload.TableMyReviews, prefix, prefix+"~", 0)
 		if err != nil {
@@ -110,7 +119,7 @@ func main() {
 	// Crash TC1; TC2 and the reader are unaffected (targeted page reset).
 	dep.CrashTC(0)
 	must(dep.RecoverTC(0))
-	must(reader.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, reader, func(x *unbundled.Txn) error {
 		prefix := workload.MovieKey(1) + "/"
 		keys, _, err := x.ScanCommitted(workload.TableReviews, prefix, prefix+"~", 0)
 		if err != nil {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,31 +30,32 @@ func main() {
 		log.Fatal(err)
 	}
 	defer dep.Close()
-	tc := dep.TCs[0]
+	ctx := context.Background()
+	client := dep.Client()
 
 	// Committed base data, checkpointed so it is stable at the DC.
 	for i := 0; i < 200; i++ {
-		must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+		must(client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 			return x.Upsert("kv", fmt.Sprintf("key%04d", i), []byte("stable"))
 		}))
 	}
-	if _, err := tc.Checkpoint(); err != nil {
+	if _, err := dep.TCs[0].Checkpoint(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("seeded 200 keys, checkpointed (contract below RSSP released)")
 
 	// --- DC failure -----------------------------------------------------
 	for i := 0; i < 50; i++ {
-		must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+		must(client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 			return x.Upsert("kv", fmt.Sprintf("key%04d", i), []byte("post-ckpt"))
 		}))
 	}
 	dep.CrashDC(0)
 	fmt.Println("DC crashed: cache and volatile watermarks gone")
 	must(dep.RecoverDC(0))
-	st := tc.Stats()
+	st := dep.TCs[0].Stats()
 	fmt.Printf("DC recovered: TC resent %d logical operations from its RSSP\n", st.RedoOps)
-	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 		v, ok, err := x.Read("kv", "key0000")
 		if err != nil || !ok || string(v) != "post-ckpt" {
 			return fmt.Errorf("lost update after DC crash: %q %v %v", v, ok, err)
@@ -64,7 +66,8 @@ func main() {
 	// --- TC failure -----------------------------------------------------
 	// Unforced committed... no: these updates commit (forced). Add an
 	// uncommitted transaction whose operations reached the DC cache.
-	ghost := tc.Begin(false)
+	ghost, err := client.Begin(ctx, unbundled.TxnOptions{})
+	must(err)
 	must(ghost.Update("kv", "key0001", []byte("lost-tail")))
 	must(ghost.Insert("kv", "ghost-key", []byte("boo")))
 	cachedBefore := dep.DCs[0].Pool().Cached()
@@ -74,7 +77,7 @@ func main() {
 	ds := dep.DCs[0].Stats()
 	fmt.Printf("TC recovered: DC reset %d page(s) (targeted — not the whole cache), restored %d record(s) from disk\n",
 		ds.ResetPages, ds.RestoredRecs)
-	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 		v, _, _ := x.Read("kv", "key0001")
 		if string(v) != "post-ckpt" {
 			return fmt.Errorf("lost-tail update survived: %q", v)

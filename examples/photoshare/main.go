@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -47,15 +48,16 @@ func main() {
 		log.Fatal(err)
 	}
 	defer dep.Close()
-	tc := dep.TCs[0]
+	ctx := context.Background()
+	client := dep.Client()
 
-	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 		return x.Insert(tUsers, "ada", []byte("account: ada, quota 1GB"))
 	}))
 
 	// Upload a photo with tags: base row + index postings, one txn.
 	uploadPhoto := func(photo, owner string, tags []string) error {
-		return tc.RunTxn(false, func(x *unbundled.Txn) error {
+		return client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 			if _, ok, err := x.Read(tUsers, owner); err != nil || !ok {
 				return fmt.Errorf("no such user %q (referential integrity): %v", owner, err)
 			}
@@ -79,7 +81,7 @@ func main() {
 	if err := uploadPhoto("photo-bad", "nobody", []string{"bridge"}); err == nil {
 		log.Fatal("upload for missing user should have failed")
 	}
-	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 		if _, ok, _ := x.Read(tPhotos, "photo-bad"); ok {
 			return fmt.Errorf("orphan photo row leaked")
 		}
@@ -91,7 +93,7 @@ func main() {
 	fmt.Println("rejected upload for unknown user; no orphans anywhere")
 
 	// Review with phrase indexing.
-	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 		review := "stunning view from the north side"
 		if err := x.Insert(tReviews, "photo-001/ada", []byte(review)); err != nil {
 			return err
@@ -106,7 +108,7 @@ func main() {
 	}))
 
 	// Tag query: which photos are tagged "bridge"?
-	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 		keys, _, err := x.Scan(tTagIdx, "bridge#", "bridge#~", 0)
 		if err != nil {
 			return err
@@ -119,7 +121,7 @@ func main() {
 	}))
 
 	// Phrase query against the home-grown phrase index.
-	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 		keys, _, err := x.Scan(tPhrase, "stunning_view#", "stunning_view#~", 0)
 		if err != nil {
 			return err
@@ -132,7 +134,7 @@ func main() {
 	// TC resends whatever the DC lost.
 	dep.CrashDC(2)
 	must(dep.RecoverDC(2))
-	must(tc.RunTxn(false, func(x *unbundled.Txn) error {
+	must(client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 		keys, _, err := x.Scan(tTagIdx, "bridge#", "bridge#~", 0)
 		if err != nil {
 			return err

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -35,11 +36,12 @@ func open(pipeline bool) *unbundled.Deployment {
 func run(pipeline bool) time.Duration {
 	dep := open(pipeline)
 	defer dep.Close()
-	tc := dep.TCs[0]
+	ctx := context.Background()
+	client := dep.Client()
 	const txns, ops = 50, 4
 	start := time.Now()
 	for i := 0; i < txns; i++ {
-		if err := tc.RunTxn(true, func(x *unbundled.Txn) error {
+		if err := client.RunTxn(ctx, unbundled.TxnOptions{Versioned: true}, func(x *unbundled.Txn) error {
 			for j := 0; j < ops; j++ {
 				key := fmt.Sprintf("k%03d", (i*ops+j)%64)
 				if err := x.Upsert("kv", key, []byte(fmt.Sprintf("v%d", i))); err != nil {
@@ -66,13 +68,17 @@ func main() {
 	// barrier plus restart must keep committed data and drop the loser.
 	dep := open(true)
 	defer dep.Close()
-	tc := dep.TCs[0]
-	if err := tc.RunTxn(false, func(x *unbundled.Txn) error {
+	ctx := context.Background()
+	client := dep.Client()
+	if err := client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 		return x.Insert("kv", "committed", []byte("keep"))
 	}); err != nil {
 		log.Fatal(err)
 	}
-	loser := tc.Begin(false)
+	loser, err := client.Begin(ctx, unbundled.TxnOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := loser.Insert("kv", "ghost", []byte("drop")); err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +86,7 @@ func main() {
 	if err := dep.RecoverTC(0); err != nil {
 		log.Fatal(err)
 	}
-	if err := tc.RunTxn(false, func(x *unbundled.Txn) error {
+	if err := client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 		if v, ok, _ := x.Read("kv", "committed"); !ok || string(v) != "keep" {
 			return fmt.Errorf("committed data lost: %q %v", v, ok)
 		}

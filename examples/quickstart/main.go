@@ -1,9 +1,11 @@
-// Quickstart: open a one-TC/one-DC unbundled kernel, run transactions,
-// crash both components, recover, and observe that committed data survived
-// while the uncommitted transaction vanished.
+// Quickstart: open a one-TC/one-DC unbundled kernel, run transactions
+// through the deployment client, crash both components, recover, and
+// observe that committed data survived while the uncommitted transaction
+// vanished.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,10 +21,11 @@ func main() {
 		log.Fatal(err)
 	}
 	defer dep.Close()
-	tc := dep.TCs[0]
+	ctx := context.Background()
+	client := dep.Client()
 
 	// A committed transfer.
-	if err := tc.RunTxn(false, func(x *unbundled.Txn) error {
+	if err := client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 		if err := x.Insert("accounts", "alice", []byte("100")); err != nil {
 			return err
 		}
@@ -33,7 +36,10 @@ func main() {
 	fmt.Println("committed: alice=100 bob=50")
 
 	// An uncommitted scribble, alive at the DC but never durable.
-	ghost := tc.Begin(false)
+	ghost, err := client.Begin(ctx, unbundled.TxnOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := ghost.Update("accounts", "alice", []byte("0")); err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +53,7 @@ func main() {
 	}
 	fmt.Println("crashed and recovered")
 
-	if err := tc.RunTxn(false, func(x *unbundled.Txn) error {
+	if err := client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 		a, _, err := x.Read("accounts", "alice")
 		if err != nil {
 			return err

@@ -158,6 +158,11 @@ const (
 	// CodeUnavailable this is a permanent nack — resending can never
 	// succeed, because epochs only move forward.
 	CodeStaleEpoch
+	// CodeCancelled means the caller's context was cancelled while the
+	// operation was waiting (on a wire reply, a retry pause, or a recovery
+	// gate). It is a local outcome — a DC never sends it — and says nothing
+	// about whether the operation executed.
+	CodeCancelled
 )
 
 func (c Code) String() string {
@@ -174,6 +179,8 @@ func (c Code) String() string {
 		return "unavailable"
 	case CodeStaleEpoch:
 		return "stale-epoch"
+	case CodeCancelled:
+		return "cancelled"
 	}
 	return fmt.Sprintf("Code(%d)", uint8(c))
 }
@@ -189,6 +196,18 @@ func (c Code) Err() error {
 type codeError Code
 
 func (e codeError) Error() string { return "dc: " + Code(e).String() }
+
+// Is folds the result codes into the error taxonomy, so a code that
+// crossed the wire still matches its public sentinel via errors.Is.
+func (e codeError) Is(target error) bool {
+	switch Code(e) {
+	case CodeUnavailable:
+		return target == ErrUnavailable
+	case CodeCancelled:
+		return target == ErrCancelled
+	}
+	return false
+}
 
 // IsNotFound reports whether err is the CodeNotFound error.
 func IsNotFound(err error) bool { return err == codeError(CodeNotFound) }

@@ -1,0 +1,86 @@
+package base
+
+import (
+	"context"
+	"errors"
+	"strings"
+)
+
+// The public error taxonomy. Every failure a transaction can surface is
+// rooted in exactly one of these sentinels, so callers branch with
+// errors.Is instead of string matching, end to end: the sentinels are
+// attached at the layer that detects the condition (lockmgr, wire, DC) and
+// rehydrated when a failure crosses the TC:DC wire as a result code or a
+// control-reply string.
+var (
+	// ErrDeadlock marks a transaction chosen as a deadlock victim. The
+	// transaction has been aborted; retrying it as a fresh transaction is
+	// expected to succeed (transient).
+	ErrDeadlock = errors.New("unbundled: deadlock victim")
+	// ErrLockTimeout marks a lock wait that exceeded its bound. The
+	// transaction has been aborted; transient.
+	ErrLockTimeout = errors.New("unbundled: lock wait timeout")
+	// ErrUnavailable marks an operation refused because a component is
+	// down, restarting, or its wire stub has been closed. Transient: the
+	// resend/recovery contract will make a retry succeed once the
+	// component is back.
+	ErrUnavailable = errors.New("unbundled: component unavailable")
+	// ErrCancelled marks an operation abandoned because the caller's
+	// context was cancelled or its deadline expired. Errors carrying it
+	// also wrap the context's own error, so errors.Is(err,
+	// context.Canceled) / context.DeadlineExceeded work too. Permanent:
+	// retrying under the same context cannot succeed.
+	ErrCancelled = errors.New("unbundled: operation cancelled")
+	// ErrReadOnly marks a write attempted inside a transaction begun with
+	// TxnOptions.ReadOnly. Permanent.
+	ErrReadOnly = errors.New("unbundled: read-only transaction")
+)
+
+// IsTransient reports whether err is an abort a caller should retry as a
+// fresh transaction: deadlock victims, bounded lock waits that timed out,
+// and component-unavailable windows. Cancellation, stale epochs, and
+// semantic failures (not-found, duplicate, read-only) are permanent.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrLockTimeout) ||
+		errors.Is(err, ErrUnavailable)
+}
+
+// CancelErr converts a done context into the taxonomy's cancellation
+// error: errors.Is matches ErrCancelled, the context's cause, and the
+// plain context error. Callers invoke it only after ctx.Done() fired.
+func CancelErr(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return &cancelErr{cause: cause}
+}
+
+type cancelErr struct{ cause error }
+
+func (e *cancelErr) Error() string { return "unbundled: cancelled: " + e.cause.Error() }
+
+func (e *cancelErr) Unwrap() error { return e.cause }
+
+func (e *cancelErr) Is(target error) bool { return target == ErrCancelled }
+
+// RehydrateWireError re-types a control-plane failure that crossed the
+// wire as a string, so errors.Is keeps working through the stub: the known
+// sentinel messages are matched by substring and re-wrapped.
+func RehydrateWireError(msg string) error {
+	for _, sentinel := range []error{ErrStaleEpoch, ErrUnavailable} {
+		if strings.Contains(msg, sentinel.Error()) {
+			return &wireErr{msg: msg, sentinel: sentinel}
+		}
+	}
+	return errors.New(msg)
+}
+
+type wireErr struct {
+	msg      string
+	sentinel error
+}
+
+func (e *wireErr) Error() string { return e.msg }
+
+func (e *wireErr) Unwrap() error { return e.sentinel }

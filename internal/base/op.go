@@ -1,6 +1,7 @@
 package base
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 )
@@ -119,10 +120,18 @@ func (r *Result) Err() error { return r.Code.Err() }
 // Service is the TC:DC interface of §4.2.1, expressed as methods invoked by
 // the TC. Implementations: the DC itself (direct, in-process) and the wire
 // client stub (asynchronous messages with resend).
+//
+// Blocking calls take a context and honor its cancellation and deadline:
+// an abandoned Perform returns CodeCancelled, an abandoned control call an
+// ErrCancelled-wrapped ctx error. Cancellation abandons only the *wait* —
+// a request already on the wire may still execute at the DC, which is why
+// the TC never cancels the delivery of logged (mutating) operations: their
+// resend/redo contract must run to completion. Watermark broadcasts are
+// fire-and-forget and take no context.
 type Service interface {
 	// Perform executes one logical operation exactly once (resend +
-	// idempotence). It blocks until a reply is available.
-	Perform(op *Op) *Result
+	// idempotence). It blocks until a reply is available or ctx is done.
+	Perform(ctx context.Context, op *Op) *Result
 	// PerformBatch executes a batch of logical operations in the given
 	// order, returning one result per operation, positionally. Batches are
 	// the unit of pipelined operation shipping: a TC coalesces queued
@@ -130,7 +139,7 @@ type Service interface {
 	// round trip acknowledges many operations. Each operation keeps its own
 	// LSN request ID, so resending a whole batch stays idempotent per
 	// operation. Like Perform, it blocks until all replies are available.
-	PerformBatch(ops []*Op) []*Result
+	PerformBatch(ctx context.Context, ops []*Op) []*Result
 	// EndOfStableLog tells the DC that all operations with LSN <= eosl are
 	// stable in the TC log and will not be lost in a TC crash; causality
 	// then allows the DC to make such operations stable (write-ahead
@@ -148,7 +157,7 @@ type Service interface {
 	// requiring the TC to be able to resend those operations is released
 	// and the TC may advance its redo scan start point (§4.2.1). A
 	// checkpoint from a fenced epoch fails with ErrStaleEpoch.
-	Checkpoint(tc TCID, epoch Epoch, newRSSP LSN) error
+	Checkpoint(ctx context.Context, tc TCID, epoch Epoch, newRSSP LSN) error
 	// BeginRestart starts restart processing for one TC incarnation: the DC
 	// installs epoch as the TC's fence — durably, and before any state is
 	// touched — then discards from its cache all effects of that TC's
@@ -160,13 +169,13 @@ type Service interface {
 	// whose own epoch is older than the fence fails with ErrStaleEpoch;
 	// a duplicate delivery for the already-installed epoch is a no-op (the
 	// reset must not repeat once redo has begun).
-	BeginRestart(tc TCID, epoch Epoch, stableLSN LSN) error
+	BeginRestart(ctx context.Context, tc TCID, epoch Epoch, stableLSN LSN) error
 	// EndRestart acknowledges completion of the restart function: the DC
 	// atomically activates the staged epoch, discards whatever the prior
 	// incarnation still had queued (fenced in-flight operations), and
 	// resumes normal processing. Fails with ErrStaleEpoch when epoch is
 	// older than the installed fence (a dead incarnation's late call).
-	EndRestart(tc TCID, epoch Epoch) error
+	EndRestart(ctx context.Context, tc TCID, epoch Epoch) error
 }
 
 // op/result wire encodings -------------------------------------------------

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/tc"
+)
+
+// TxnOptions shapes one client transaction. The zero value is a plain
+// read-write transaction, auto-routed across the deployment's TCs, with
+// the default retry policy.
+type TxnOptions struct {
+	// Versioned makes writes keep before versions (§6.2.2), enabling
+	// cross-TC read-committed readers and cheap undo.
+	Versioned bool
+	// ReadOnly refuses every mutation with ErrReadOnly.
+	ReadOnly bool
+	// LockTimeout overrides the TC's configured lock-wait bound for this
+	// transaction: positive bounds each wait, negative waits forever, zero
+	// keeps the TC default.
+	LockTimeout time.Duration
+	// TC pins the transaction to one transactional component by its ID
+	// (1-based, matching TC.ID; dep.TCs[i] has ID i+1). Zero routes
+	// automatically: round-robin across TCs with a least-inflight
+	// tiebreak.
+	//
+	// Locks live per TC, so two TCs serialize nothing against each other:
+	// when a deployment runs more than one TC, the §6.1 contract applies —
+	// update responsibility for each key must be partitioned among the
+	// TCs. Pin by ownership for any key other transactions may write
+	// concurrently; auto-routing is for single-TC deployments, disjoint
+	// key populations, and the versioned read paths (§6.2) that tolerate
+	// concurrent writers by design.
+	TC int
+	// MaxAttempts bounds RunTxn's automatic retry of transient aborts
+	// (deadlock victims, lock timeouts, component-unavailable windows):
+	// total attempts including the first. Zero means the default (8); 1
+	// disables retry. Begin ignores it.
+	MaxAttempts int
+	// RetryBackoff is RunTxn's initial inter-attempt backoff, doubling per
+	// attempt (capped at 50ms). Zero means the default (200µs).
+	RetryBackoff time.Duration
+}
+
+func (o TxnOptions) tcOpts() tc.TxnOptions {
+	return tc.TxnOptions{Versioned: o.Versioned, ReadOnly: o.ReadOnly, LockTimeout: o.LockTimeout}
+}
+
+// Client is the deployment-level transaction API: it routes transactions
+// across the deployment's TCs (or honors a pin), retries transient aborts
+// with backoff, and threads the caller's context through every wait in the
+// stack — lock queues, wire resend/pause loops, and commit barriers.
+//
+// A Client is safe for concurrent use; Deployment.Client returns a shared
+// instance. With multiple TCs, see TxnOptions.TC for the key-ownership
+// contract auto-routing relies on.
+type Client struct {
+	dep *Deployment
+	rr  atomic.Uint64
+}
+
+// Client returns the deployment's shared transaction client.
+func (d *Deployment) Client() *Client {
+	d.clientOnce.Do(func() { d.client = &Client{dep: d} })
+	return d.client
+}
+
+const (
+	defaultAttempts = 8
+	defaultBackoff  = 200 * time.Microsecond
+	maxBackoff      = 50 * time.Millisecond
+)
+
+// pick selects the TC for one attempt: the pinned one, or round-robin with
+// a least-inflight tiebreak — the rotating start index spreads ties, and a
+// TC running fewer transactions wins outright so a stalled or loaded TC
+// sheds new work.
+func (c *Client) pick(opts TxnOptions) (*tc.TC, error) {
+	tcs := c.dep.TCs
+	if opts.TC != 0 {
+		if opts.TC < 0 || opts.TC > len(tcs) {
+			return nil, fmt.Errorf("unbundled: no TC with ID %d (deployment has %d)", opts.TC, len(tcs))
+		}
+		return tcs[opts.TC-1], nil
+	}
+	start := int(c.rr.Add(1)-1) % len(tcs)
+	best := tcs[start]
+	bestLoad := best.ActiveTxns()
+	for i := 1; i < len(tcs); i++ {
+		cand := tcs[(start+i)%len(tcs)]
+		if load := cand.ActiveTxns(); load < bestLoad {
+			best, bestLoad = cand, load
+		}
+	}
+	return best, nil
+}
+
+// Begin starts a single transaction on a routed (or pinned) TC. The caller
+// owns its lifecycle: Commit or Abort must be called, and no automatic
+// retry applies. The transaction is bound to ctx — see RunTxn for the
+// cancellation semantics.
+func (c *Client) Begin(ctx context.Context, opts TxnOptions) (*tc.Txn, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, base.CancelErr(ctx)
+	}
+	tcx, err := c.pick(opts)
+	if err != nil {
+		return nil, err
+	}
+	return tcx.Begin(ctx, opts.tcOpts()), nil
+}
+
+// RunTxn runs fn inside a transaction: commit on success, abort on error.
+// Transient aborts — deadlock victims, lock timeouts, component-
+// unavailable windows (IsTransient) — are retried as fresh transactions
+// with exponential backoff, re-routed per attempt, up to
+// opts.MaxAttempts. Permanent failures (cancellation, stale epochs,
+// not-found/duplicate, read-only violations) return immediately.
+//
+// ctx bounds the whole call: lock waits, wire waits, retry backoffs, and
+// the commit barrier all return promptly with an ErrCancelled-wrapped
+// ctx error once it is done. The delivery of already-logged writes is the
+// one thing cancellation never interrupts — the resend/redo contract
+// finishes those in the background.
+func (c *Client) RunTxn(ctx context.Context, opts TxnOptions, fn func(*tc.Txn) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := opts.MaxAttempts
+	if attempts <= 0 {
+		attempts = defaultAttempts
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultBackoff
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return base.CancelErr(ctx)
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		var tcx *tc.TC
+		tcx, err = c.pick(opts)
+		if err != nil {
+			return err
+		}
+		err = tcx.RunTxnOnce(ctx, opts.tcOpts(), fn)
+		if err == nil {
+			return nil
+		}
+		// An ambiguous commit is never retried, even when the underlying
+		// failure is transient: the commit record is already in the log, so
+		// the transaction may be a winner — re-executing fn would apply its
+		// effects twice.
+		if !base.IsTransient(err) || errors.Is(err, tc.ErrCommitAmbiguous) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/cidr09/unbundled/internal/base"
 	"github.com/cidr09/unbundled/internal/dc"
@@ -45,6 +46,10 @@ type Deployment struct {
 	clients [][]*wire.Client
 	servers [][]*wire.Server
 	route   func(table, key string) int
+
+	clientOnce sync.Once
+	client     *Client
+	closeOnce  sync.Once
 }
 
 // New builds and starts a deployment.
@@ -117,21 +122,28 @@ func (d *Deployment) Net() *wire.Network { return d.net }
 // Route returns the DC index serving (table, key).
 func (d *Deployment) Route(table, key string) int { return d.route(table, key) }
 
-// Close stops background work and wire pumps.
+// Close stops the whole deployment: TC background work first (so commit
+// barriers unblock), then the wire pumps, then the DCs. Idempotent — a
+// second Close is a no-op, and closing twice never panics or hangs.
 func (d *Deployment) Close() {
-	for _, t := range d.TCs {
-		t.Close()
-	}
-	for ti := range d.clients {
-		for di := range d.clients[ti] {
-			if d.clients[ti][di] != nil {
-				d.clients[ti][di].Close()
-			}
-			if d.servers[ti][di] != nil {
-				d.servers[ti][di].Close()
+	d.closeOnce.Do(func() {
+		for _, t := range d.TCs {
+			t.Close()
+		}
+		for ti := range d.clients {
+			for di := range d.clients[ti] {
+				if d.clients[ti][di] != nil {
+					d.clients[ti][di].Close()
+				}
+				if d.servers[ti][di] != nil {
+					d.servers[ti][di].Close()
+				}
 			}
 		}
-	}
+		for _, dci := range d.DCs {
+			dci.Close()
+		}
+	})
 }
 
 // CrashDC fails data component i: its cache and volatile state are lost;

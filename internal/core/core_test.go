@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -28,7 +29,7 @@ func TestEndToEndDirect(t *testing.T) {
 	tcx := d.TCs[0]
 	for i := 0; i < 100; i++ {
 		key := fmt.Sprintf("%c%03d", 'a'+byte(i%26), i)
-		if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+		if err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 			return x.Upsert("kv", key, []byte(fmt.Sprintf("v%d", i)))
 		}); err != nil {
 			t.Fatal(err)
@@ -38,7 +39,7 @@ func TestEndToEndDirect(t *testing.T) {
 	if d.DCs[0].Stats().Performs == 0 || d.DCs[1].Stats().Performs == 0 {
 		t.Fatal("routing sent everything to one DC")
 	}
-	if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+	if err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 		for i := 0; i < 100; i++ {
 			key := fmt.Sprintf("%c%03d", 'a'+byte(i%26), i)
 			v, ok, err := x.Read("kv", key)
@@ -80,7 +81,7 @@ func TestEndToEndLossyNetwork(t *testing.T) {
 		key := fmt.Sprintf("%c%02d", 'a'+byte(rnd.Intn(26)), rnd.Intn(40))
 		val := fmt.Sprintf("v%d", i)
 		del := rnd.Intn(4) == 0
-		err := tcx.RunTxn(false, func(x *tc.Txn) error {
+		err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 			if del {
 				if _, ok, _ := x.Read("kv", key); !ok {
 					return nil
@@ -98,7 +99,7 @@ func TestEndToEndLossyNetwork(t *testing.T) {
 			model[key] = val
 		}
 	}
-	if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+	if err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 		for k, want := range model {
 			v, ok, err := x.Read("kv", k)
 			if err != nil || !ok || string(v) != want {
@@ -145,7 +146,7 @@ func TestCrashRecoveryFuzz(t *testing.T) {
 
 	verify := func(round int) {
 		t.Helper()
-		if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+		if err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 			for k, want := range model {
 				v, ok, err := x.Read("kv", k)
 				if err != nil || !ok || string(v) != want {
@@ -165,7 +166,7 @@ func TestCrashRecoveryFuzz(t *testing.T) {
 			key := fmt.Sprintf("%c%02d", 'a'+byte(rnd.Intn(26)), rnd.Intn(30))
 			val := fmt.Sprintf("r%d-%d", round, i)
 			op := rnd.Intn(5)
-			err := tcx.RunTxn(false, func(x *tc.Txn) error {
+			err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 				if op == 0 {
 					if _, ok, _ := x.Read("kv", key); ok {
 						return x.Delete("kv", key)
@@ -185,7 +186,7 @@ func TestCrashRecoveryFuzz(t *testing.T) {
 		}
 		// Occasional checkpoints bound redo work.
 		if rnd.Intn(3) == 0 {
-			if _, err := tcx.Checkpoint(); err != nil {
+			if _, err := tcx.Checkpoint(context.Background()); err != nil {
 				t.Fatalf("checkpoint: %v", err)
 			}
 		}
@@ -195,7 +196,7 @@ func TestCrashRecoveryFuzz(t *testing.T) {
 		// transaction cannot block later rounds).
 		crash := rnd.Intn(4)
 		if (crash == 0 || crash == 2) && rnd.Intn(2) == 0 {
-			x := tcx.Begin(false)
+			x := tcx.Begin(context.Background(), tc.TxnOptions{})
 			_ = x.Upsert("kv", "zz-ghost", []byte("ghost"))
 			// no commit: dies with the TC
 		}
@@ -224,7 +225,7 @@ func TestCrashRecoveryFuzz(t *testing.T) {
 			t.Fatal("model corrupted")
 		}
 		// The ghost must never be visible.
-		if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+		if err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 			if _, ok, _ := x.Read("kv", "zz-ghost"); ok {
 				return fmt.Errorf("uncommitted ghost survived round %d", round)
 			}
@@ -254,18 +255,18 @@ func TestMultiTCSharedDC(t *testing.T) {
 	tc1, tc2 := d.TCs[0], d.TCs[1]
 
 	// Each TC owns its prefix; both use versioning for sharing.
-	if err := tc1.RunTxn(true, func(x *tc.Txn) error {
+	if err := tc1.RunTxn(context.Background(), tc.TxnOptions{Versioned: true}, func(x *tc.Txn) error {
 		return x.Insert("users", "p1/alice", []byte("alice-v1"))
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tc2.RunTxn(true, func(x *tc.Txn) error {
+	if err := tc2.RunTxn(context.Background(), tc.TxnOptions{Versioned: true}, func(x *tc.Txn) error {
 		return x.Insert("users", "p2/bob", []byte("bob-v1"))
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// Cross-TC read-committed: TC2 reads TC1's data without locks.
-	if err := tc2.RunTxn(false, func(x *tc.Txn) error {
+	if err := tc2.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 		v, ok, err := x.ReadCommitted("users", "p1/alice")
 		if err != nil || !ok || string(v) != "alice-v1" {
 			return fmt.Errorf("cross-TC read: %q %v %v", v, ok, err)
@@ -275,12 +276,12 @@ func TestMultiTCSharedDC(t *testing.T) {
 		t.Fatal(err)
 	}
 	// TC1 updates without committing the page flush anywhere; then crashes.
-	x := tc1.Begin(true)
+	x := tc1.Begin(context.Background(), tc.TxnOptions{Versioned: true})
 	if err := x.Update("users", "p1/alice", []byte("alice-lost")); err != nil {
 		t.Fatal(err)
 	}
 	// TC2 writes more data to the same DC (same pages potentially).
-	if err := tc2.RunTxn(true, func(y *tc.Txn) error {
+	if err := tc2.RunTxn(context.Background(), tc.TxnOptions{Versioned: true}, func(y *tc.Txn) error {
 		return y.Update("users", "p2/bob", []byte("bob-v2"))
 	}); err != nil {
 		t.Fatal(err)
@@ -290,7 +291,7 @@ func TestMultiTCSharedDC(t *testing.T) {
 		t.Fatal(err)
 	}
 	// TC1's uncommitted update is gone; TC2's committed update survives.
-	if err := tc1.RunTxn(false, func(y *tc.Txn) error {
+	if err := tc1.RunTxn(context.Background(), tc.TxnOptions{}, func(y *tc.Txn) error {
 		v, ok, err := y.Read("users", "p1/alice")
 		if err != nil || !ok || string(v) != "alice-v1" {
 			return fmt.Errorf("tc1 data after its crash: %q %v %v", v, ok, err)
@@ -299,7 +300,7 @@ func TestMultiTCSharedDC(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tc2.RunTxn(false, func(y *tc.Txn) error {
+	if err := tc2.RunTxn(context.Background(), tc.TxnOptions{}, func(y *tc.Txn) error {
 		v, ok, err := y.Read("users", "p2/bob")
 		if err != nil || !ok || string(v) != "bob-v2" {
 			return fmt.Errorf("tc2 data disturbed by tc1 crash: %q %v %v", v, ok, err)
@@ -329,7 +330,7 @@ func TestFigure1Heterogeneous(t *testing.T) {
 	app1, app2 := d.TCs[0], d.TCs[1]
 
 	// App 1 stores a photo + posting-list entries (term#photo keys).
-	if err := app1.RunTxn(false, func(x *tc.Txn) error {
+	if err := app1.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 		if err := x.Insert("photos", "p1/photo42", []byte("golden gate")); err != nil {
 			return err
 		}
@@ -343,13 +344,13 @@ func TestFigure1Heterogeneous(t *testing.T) {
 		t.Fatal(err)
 	}
 	// App 2 manages accounts on its own partition.
-	if err := app2.RunTxn(false, func(x *tc.Txn) error {
+	if err := app2.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 		return x.Insert("accounts", "p2/user7", []byte("balance=10"))
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// Term lookup via the inverted-index DC (prefix scan).
-	if err := app1.RunTxn(false, func(x *tc.Txn) error {
+	if err := app1.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 		keys, _, err := x.Scan("textidx", "p1/golden#", "p1/golden#~", 0)
 		if err != nil {
 			return err
@@ -379,7 +380,7 @@ func TestDCCrashUnderLossyNetwork(t *testing.T) {
 	defer d.Close()
 	tcx := d.TCs[0]
 	for i := 0; i < 60; i++ {
-		if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+		if err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 			return x.Upsert("kv", fmt.Sprintf("k%03d", i), []byte("v"))
 		}); err != nil {
 			t.Fatal(err)
@@ -389,7 +390,7 @@ func TestDCCrashUnderLossyNetwork(t *testing.T) {
 	if err := d.RecoverDC(0); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+	if err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 		for i := 0; i < 60; i++ {
 			if _, ok, _ := x.Read("kv", fmt.Sprintf("k%03d", i)); !ok {
 				return fmt.Errorf("key %d lost across DC crash on lossy net", i)

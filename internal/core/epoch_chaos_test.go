@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -64,7 +65,7 @@ func TestEpochFenceCrashDuringBatchChaos(t *testing.T) {
 
 			const keys = 4
 			key := func(i int) string { return fmt.Sprintf("c%d", i) }
-			if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+			if err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 				for i := 0; i < keys; i++ {
 					if err := x.Insert("kv", key(i), []byte("0")); err != nil {
 						return err
@@ -78,7 +79,7 @@ func TestEpochFenceCrashDuringBatchChaos(t *testing.T) {
 			// Leave an uncommitted transaction's blind upserts in the
 			// fabric (versioned: no pre-check read gates the pipeline),
 			// then crash at a random point of their delivery window.
-			ghost := tcx.Begin(true)
+			ghost := tcx.Begin(context.Background(), tc.TxnOptions{Versioned: true})
 			for g := 0; g < keys; g++ {
 				if err := ghost.Upsert("kv", fmt.Sprintf("g%d", g), []byte("boo")); err != nil {
 					t.Fatal(err)
@@ -96,7 +97,7 @@ func TestEpochFenceCrashDuringBatchChaos(t *testing.T) {
 			const increments = 24
 			for r := 0; r < increments; r++ {
 				k := key(r % keys)
-				if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+				if err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 					v, ok, err := x.Read("kv", k)
 					if err != nil || !ok {
 						return fmt.Errorf("read %s: %v %v", k, ok, err)
@@ -110,7 +111,7 @@ func TestEpochFenceCrashDuringBatchChaos(t *testing.T) {
 					t.Fatalf("iter %d increment %d: %v", it, r, err)
 				}
 			}
-			if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+			if err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 				for i := 0; i < keys; i++ {
 					v, ok, err := x.Read("kv", key(i))
 					if err != nil || !ok {
@@ -127,7 +128,7 @@ func TestEpochFenceCrashDuringBatchChaos(t *testing.T) {
 			}
 			// The dead incarnation's uncommitted writes must be gone: swept
 			// by the restart reset if they landed before it, fenced if after.
-			x := tcx.Begin(false)
+			x := tcx.Begin(context.Background(), tc.TxnOptions{})
 			for g := 0; g < keys; g++ {
 				if _, ok, err := x.ReadDirty("kv", fmt.Sprintf("g%d", g)); err != nil {
 					t.Fatal(err)

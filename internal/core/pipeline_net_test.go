@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -52,7 +53,7 @@ func TestConcurrentTxnsOnMisbehavingNetwork(t *testing.T) {
 			tcx := dep.TCs[0]
 
 			key := func(i int) string { return fmt.Sprintf("c%d", i) }
-			if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+			if err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 				for i := 0; i < keys; i++ {
 					if err := x.Insert("kv", key(i), []byte("0")); err != nil {
 						return err
@@ -81,7 +82,7 @@ func TestConcurrentTxnsOnMisbehavingNetwork(t *testing.T) {
 						if b < a {
 							a, b = b, a
 						}
-						err := tcx.RunTxn(false, func(x *tc.Txn) error {
+						err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 							for _, k := range []int{a, b} {
 								v, ok, err := x.Read("kv", key(k))
 								if err != nil || !ok {
@@ -121,7 +122,7 @@ func TestConcurrentTxnsOnMisbehavingNetwork(t *testing.T) {
 			wg.Wait()
 
 			// The committed state must match the serial oracle exactly.
-			if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+			if err := tcx.RunTxn(context.Background(), tc.TxnOptions{}, func(x *tc.Txn) error {
 				for i := 0; i < keys; i++ {
 					v, ok, err := x.Read("kv", key(i))
 					if err != nil || !ok {

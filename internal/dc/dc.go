@@ -13,6 +13,7 @@
 package dc
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -66,6 +67,7 @@ const (
 	stateRunning dcState = iota
 	stateDown
 	stateRecovering
+	stateClosed
 )
 
 // tcState is the DC's per-TC bookkeeping: the watermarks that drive
@@ -242,7 +244,7 @@ func (d *DC) CreateTable(table string) error {
 
 	pool := d.poolNow()
 	if pool == nil {
-		return fmt.Errorf("dc %s: unavailable", d.cfg.Name)
+		return d.errUnavailable()
 	}
 	rootID := d.store.AllocPageID()
 	root := page.NewLeaf(rootID)
@@ -353,7 +355,10 @@ func (d *DC) LowWaterMark(tc base.TCID, epoch base.Epoch, lwm base.LSN) {
 // a fenced incarnation is refused — releasing resend obligations based on
 // a dead incarnation's view would be unrecoverable — and so is one racing
 // an unfinished restart.
-func (d *DC) Checkpoint(tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
+func (d *DC) Checkpoint(ctx context.Context, tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
+	if ctx.Err() != nil {
+		return base.CancelErr(ctx)
+	}
 	s := d.tcState(tc)
 	s.ctl.Lock()
 	if s.fenced(epoch) {
@@ -369,7 +374,7 @@ func (d *DC) Checkpoint(tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error 
 	s.ctl.Unlock()
 	pool := d.runningPool()
 	if pool == nil {
-		return fmt.Errorf("dc %s: unavailable", d.cfg.Name)
+		return d.errUnavailable()
 	}
 	err := pool.FlushAll(true, func(pg *page.Page) bool {
 		first, ok := pg.FirstDirty[tc]
@@ -455,6 +460,28 @@ func (d *DC) running() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.state == stateRunning
+}
+
+// errUnavailable is the typed down/closed/recovering failure; the message
+// embeds the sentinel's text so the wire layer can rehydrate it on the
+// other side of a string-only control reply.
+func (d *DC) errUnavailable() error {
+	return fmt.Errorf("dc %s: %w", d.cfg.Name, base.ErrUnavailable)
+}
+
+// Close permanently shuts the DC down: it stops serving (operations nack
+// CodeUnavailable, control calls fail typed) and will not recover.
+// Idempotent — a second Close, or a Close after Crash, is a no-op. The DC
+// has no background goroutines; Close exists so Deployment.Close can make
+// "everything stopped" explicit and double-closes are safe.
+func (d *DC) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state == stateClosed {
+		return
+	}
+	d.state = stateClosed
+	d.pool = nil
 }
 
 // Stats returns a snapshot of counters.

@@ -1,6 +1,7 @@
 package dc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -45,7 +46,7 @@ func (h *opHelper) do(kind base.OpKind, key string, val []byte, versioned bool) 
 		Value: val, Versioned: versioned}
 	h.next++
 	h.issued = append(h.issued, op)
-	return h.d.Perform(op)
+	return h.d.Perform(context.Background(), op)
 }
 
 func (h *opHelper) insert(key, val string) *base.Result {
@@ -56,7 +57,7 @@ func (h *opHelper) update(key, val string) *base.Result {
 }
 func (h *opHelper) del(key string) *base.Result { return h.do(base.OpDelete, key, nil, false) }
 func (h *opHelper) read(key string) *base.Result {
-	return h.d.Perform(&base.Op{TC: h.tc, Epoch: h.epoch, LSN: 0, Kind: base.OpRead, Table: "t", Key: key})
+	return h.d.Perform(context.Background(), &base.Op{TC: h.tc, Epoch: h.epoch, LSN: 0, Kind: base.OpRead, Table: "t", Key: key})
 }
 
 // ack tells the DC everything issued so far is stable and acknowledged.
@@ -103,7 +104,7 @@ func TestResendIdempotence(t *testing.T) {
 	}
 	// Resend with the same request ID: recognized, skipped, acknowledged.
 	op := h.issued[len(h.issued)-1]
-	res2 := d.Perform(op)
+	res2 := d.Perform(context.Background(), op)
 	if res2.Code != base.CodeOK || !res2.Applied {
 		t.Fatalf("resend: %+v", res2)
 	}
@@ -113,10 +114,10 @@ func TestResendIdempotence(t *testing.T) {
 	// The update resend must not re-apply either.
 	up := &base.Op{TC: 1, LSN: h.next, Kind: base.OpUpdate, Table: "t", Key: "k", Value: []byte("v2")}
 	h.next++
-	if r := d.Perform(up); r.Code != base.CodeOK || string(r.Prior) != "v" {
+	if r := d.Perform(context.Background(), up); r.Code != base.CodeOK || string(r.Prior) != "v" {
 		t.Fatalf("update: %+v", r)
 	}
-	if r := d.Perform(up); !r.Applied {
+	if r := d.Perform(context.Background(), up); !r.Applied {
 		t.Fatalf("update resend not skipped: %+v", r)
 	}
 	if r := h.read("k"); string(r.Value) != "v2" {
@@ -130,18 +131,18 @@ func TestOutOfOrderArrival(t *testing.T) {
 	d := newDC(t, Config{})
 	late := &base.Op{TC: 1, LSN: 7, Kind: base.OpInsert, Table: "t", Key: "b", Value: []byte("late")}
 	early := &base.Op{TC: 1, LSN: 3, Kind: base.OpInsert, Table: "t", Key: "a", Value: []byte("early")}
-	if r := d.Perform(late); r.Code != base.CodeOK {
+	if r := d.Perform(context.Background(), late); r.Code != base.CodeOK {
 		t.Fatalf("late: %+v", r)
 	}
 	// The traditional page-LSN test would now claim LSN 3 applied.
-	if r := d.Perform(early); r.Code != base.CodeOK || r.Applied {
+	if r := d.Perform(context.Background(), early); r.Code != base.CodeOK || r.Applied {
 		t.Fatalf("early treated as applied: %+v", r)
 	}
 	// Resends of both are recognized.
-	if r := d.Perform(late); !r.Applied {
+	if r := d.Perform(context.Background(), late); !r.Applied {
 		t.Fatalf("late resend: %+v", r)
 	}
-	if r := d.Perform(early); !r.Applied {
+	if r := d.Perform(context.Background(), early); !r.Applied {
 		t.Fatalf("early resend: %+v", r)
 	}
 }
@@ -155,7 +156,7 @@ func TestVersionedSharing(t *testing.T) {
 	h.do(base.OpCommitVersions, "user1", nil, false)
 
 	rc := func() *base.Result {
-		return d.Perform(&base.Op{TC: 2, Kind: base.OpRead, Table: "t", Key: "user1",
+		return d.Perform(context.Background(), &base.Op{TC: 2, Kind: base.OpRead, Table: "t", Key: "user1",
 			Flavor: base.ReadCommitted})
 	}
 	if r := rc(); !r.Found || string(r.Value) != "profile-v1" {
@@ -166,7 +167,7 @@ func TestVersionedSharing(t *testing.T) {
 	if r := rc(); !r.Found || string(r.Value) != "profile-v1" {
 		t.Fatalf("committed read during update: %+v", r)
 	}
-	dirty := d.Perform(&base.Op{TC: 2, Kind: base.OpRead, Table: "t", Key: "user1",
+	dirty := d.Perform(context.Background(), &base.Op{TC: 2, Kind: base.OpRead, Table: "t", Key: "user1",
 		Flavor: base.ReadDirty})
 	if !dirty.Found || string(dirty.Value) != "profile-v2" {
 		t.Fatalf("dirty read: %+v", dirty)
@@ -210,11 +211,11 @@ func TestScanProbeAndRangeRead(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		h.insert(fmt.Sprintf("k%03d", i), "v")
 	}
-	probe := d.Perform(&base.Op{TC: 1, Kind: base.OpScanProbe, Table: "t", Key: "k010", Limit: 5})
+	probe := d.Perform(context.Background(), &base.Op{TC: 1, Kind: base.OpScanProbe, Table: "t", Key: "k010", Limit: 5})
 	if len(probe.Keys) != 5 || probe.Keys[0] != "k010" || probe.Keys[4] != "k014" {
 		t.Fatalf("probe: %v", probe.Keys)
 	}
-	rr := d.Perform(&base.Op{TC: 1, Kind: base.OpRangeRead, Table: "t", Key: "k010", EndKey: "k015"})
+	rr := d.Perform(context.Background(), &base.Op{TC: 1, Kind: base.OpRangeRead, Table: "t", Key: "k010", EndKey: "k015"})
 	if len(rr.Keys) != 5 || len(rr.Values) != 5 {
 		t.Fatalf("range: %v", rr.Keys)
 	}
@@ -235,13 +236,13 @@ func TestDCCrashRecoveryWithSplits(t *testing.T) {
 	h.ack()
 	// Checkpoint half the LSN space: pages with earlier ops are forced.
 	mid := base.LSN(n / 2)
-	if err := d.Checkpoint(1, 0, mid); err != nil {
+	if err := d.Checkpoint(context.Background(), 1, 0, mid); err != nil {
 		t.Fatal(err)
 	}
 
 	d.Crash()
 	// While down: unavailable.
-	if r := d.Perform(&base.Op{TC: 1, LSN: 9999, Kind: base.OpRead, Table: "t", Key: "key00000"}); r.Code != base.CodeUnavailable {
+	if r := d.Perform(context.Background(), &base.Op{TC: 1, LSN: 9999, Kind: base.OpRead, Table: "t", Key: "key00000"}); r.Code != base.CodeUnavailable {
 		t.Fatalf("down DC answered: %+v", r)
 	}
 	if err := d.Recover(); err != nil {
@@ -256,7 +257,7 @@ func TestDCCrashRecoveryWithSplits(t *testing.T) {
 	// TC redo: resend everything from the redo scan start point (we use 0
 	// = everything; abstract LSNs skip what survived).
 	for _, op := range h.issued {
-		if r := d.Perform(op); r.Code != base.CodeOK {
+		if r := d.Perform(context.Background(), op); r.Code != base.CodeOK {
 			t.Fatalf("redo %v: %+v", op, r)
 		}
 	}
@@ -296,7 +297,7 @@ func TestDCCrashRecoveryWithConsolidates(t *testing.T) {
 		t.Fatalf("structure after consolidate redo: %v", err)
 	}
 	for _, op := range h.issued {
-		r := d.Perform(op)
+		r := d.Perform(context.Background(), op)
 		if r.Code != base.CodeOK && r.Code != base.CodeDuplicate && r.Code != base.CodeNotFound {
 			t.Fatalf("redo %v: %+v", op, r)
 		}
@@ -322,7 +323,7 @@ func TestTCFailureReset(t *testing.T) {
 	// Stabilize: log stable through LSN 1, page flushed.
 	d.EndOfStableLog(1, 0, 1)
 	d.LowWaterMark(1, 0, 1)
-	if err := d.Checkpoint(1, 0, 2); err != nil {
+	if err := d.Checkpoint(context.Background(), 1, 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	// Lost tail: ops 2..3 applied but never forced at the TC.
@@ -332,10 +333,10 @@ func TestTCFailureReset(t *testing.T) {
 		t.Fatalf("pre-crash read: %+v", r)
 	}
 	// TC crashes with stable log end = 1; the restarted incarnation is 2.
-	if err := d.BeginRestart(1, 2, 1); err != nil {
+	if err := d.BeginRestart(context.Background(), 1, 2, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.EndRestart(1, 2); err != nil {
+	if err := d.EndRestart(context.Background(), 1, 2); err != nil {
 		t.Fatal(err)
 	}
 	if d.Stats().ResetPages == 0 {
@@ -353,7 +354,7 @@ func TestTCFailureReset(t *testing.T) {
 	// The restarted TC reuses LSNs 2..: they must execute (not be treated
 	// as already applied).
 	reuse := &base.Op{TC: 1, Epoch: 2, LSN: 2, Kind: base.OpInsert, Table: "t", Key: "c", Value: []byte("new2")}
-	if r := d.Perform(reuse); r.Code != base.CodeOK || r.Applied {
+	if r := d.Perform(context.Background(), reuse); r.Code != base.CodeOK || r.Applied {
 		t.Fatalf("reused LSN mishandled: %+v", r)
 	}
 }
@@ -370,17 +371,17 @@ func TestMultiTCResetIsolation(t *testing.T) {
 	d.LowWaterMark(1, 0, 1)
 	d.EndOfStableLog(2, 0, 1)
 	d.LowWaterMark(2, 0, 1)
-	if err := d.Checkpoint(1, 0, 2); err != nil {
+	if err := d.Checkpoint(context.Background(), 1, 0, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Checkpoint(2, 0, 2); err != nil {
+	if err := d.Checkpoint(context.Background(), 2, 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	// Both TCs apply further unstable ops to the same page.
 	h1.update("tc1-a", "lost")
 	h2.update("tc2-a", "kept-unstable")
 	// TC 1 crashes; TC 2 is fine.
-	if err := d.BeginRestart(1, 2, 1); err != nil {
+	if err := d.BeginRestart(context.Background(), 1, 2, 1); err != nil {
 		t.Fatal(err)
 	}
 	h1.epoch = 2
@@ -404,7 +405,7 @@ func TestCheckpointFlushesAndTruncates(t *testing.T) {
 		// Splits happened but nothing is forced yet; that is fine.
 		t.Logf("pre-checkpoint stable DC-log records: %d", n)
 	}
-	if err := d.Checkpoint(1, h.epoch, h.next); err != nil {
+	if err := d.Checkpoint(context.Background(), 1, h.epoch, h.next); err != nil {
 		t.Fatal(err)
 	}
 	// All dirty pages stable; the DC-log contract is released entirely.
@@ -453,7 +454,7 @@ func TestPageSyncStrategiesEndToEnd(t *testing.T) {
 				h.insert(fmt.Sprintf("k%03d", i), "v")
 			}
 			h.ack()
-			if err := d.Checkpoint(1, h.epoch, h.next); err != nil {
+			if err := d.Checkpoint(context.Background(), 1, h.epoch, h.next); err != nil {
 				t.Fatal(err)
 			}
 			d.Crash()
@@ -499,7 +500,7 @@ func TestRandomizedCrashReplayConvergence(t *testing.T) {
 		}
 		h.ack()
 		if rnd.Intn(2) == 0 {
-			if err := d.Checkpoint(1, h.epoch, h.next); err != nil {
+			if err := d.Checkpoint(context.Background(), 1, h.epoch, h.next); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -509,7 +510,7 @@ func TestRandomizedCrashReplayConvergence(t *testing.T) {
 		}
 		// Full redo from LSN 0 (superset of any RSSP; idempotence filters).
 		for _, op := range h.issued {
-			d.Perform(op)
+			d.Perform(context.Background(), op)
 		}
 		h.ack()
 		for k, want := range model {

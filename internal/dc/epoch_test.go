@@ -1,6 +1,7 @@
 package dc
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -17,15 +18,15 @@ func TestEpochFenceRejectsPreRestartOps(t *testing.T) {
 	h.epoch = 1
 	h.insert("a", "stable")
 	h.ack()
-	if err := d.Checkpoint(1, 1, 2); err != nil {
+	if err := d.Checkpoint(context.Background(), 1, 1, 2); err != nil {
 		t.Fatal(err)
 	}
 
 	// The TC crashes with stable log end 1 and restarts as incarnation 2.
-	if err := d.BeginRestart(1, 2, 1); err != nil {
+	if err := d.BeginRestart(context.Background(), 1, 2, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.EndRestart(1, 2); err != nil {
+	if err := d.EndRestart(context.Background(), 1, 2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -35,7 +36,7 @@ func TestEpochFenceRejectsPreRestartOps(t *testing.T) {
 		{TC: 1, Epoch: 1, LSN: 2, Kind: base.OpInsert, Table: "t", Key: "ghost", Value: []byte("x")},
 		{TC: 1, Epoch: 1, LSN: 3, Kind: base.OpUpdate, Table: "t", Key: "a", Value: []byte("scribble")},
 	}
-	for i, r := range d.PerformBatch(late) {
+	for i, r := range d.PerformBatch(context.Background(), late) {
 		if r.Code != base.CodeStaleEpoch {
 			t.Fatalf("late op %d not fenced: %+v", i, r)
 		}
@@ -44,7 +45,7 @@ func TestEpochFenceRejectsPreRestartOps(t *testing.T) {
 		t.Fatalf("stale-epoch stat = %d, want 2", got)
 	}
 	// An old-epoch read is fenced too — a dead incarnation gets nothing.
-	stale := d.Perform(&base.Op{TC: 1, Epoch: 1, Kind: base.OpRead, Table: "t", Key: "a"})
+	stale := d.Perform(context.Background(), &base.Op{TC: 1, Epoch: 1, Kind: base.OpRead, Table: "t", Key: "a"})
 	if stale.Code != base.CodeStaleEpoch {
 		t.Fatalf("stale read not fenced: %+v", stale)
 	}
@@ -73,10 +74,10 @@ func TestEpochFenceDurableAcrossDCCrash(t *testing.T) {
 	h.epoch = 1
 	h.insert("a", "v")
 	h.ack()
-	if err := d.BeginRestart(1, 2, 1); err != nil {
+	if err := d.BeginRestart(context.Background(), 1, 2, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.EndRestart(1, 2); err != nil {
+	if err := d.EndRestart(context.Background(), 1, 2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -87,7 +88,7 @@ func TestEpochFenceDurableAcrossDCCrash(t *testing.T) {
 	if got := d.EpochOf(1); got != 2 {
 		t.Fatalf("fence lost in DC crash: epoch = %d, want 2", got)
 	}
-	r := d.Perform(&base.Op{TC: 1, Epoch: 1, LSN: 9, Kind: base.OpInsert,
+	r := d.Perform(context.Background(), &base.Op{TC: 1, Epoch: 1, LSN: 9, Kind: base.OpInsert,
 		Table: "t", Key: "ghost", Value: []byte("x")})
 	if r.Code != base.CodeStaleEpoch {
 		t.Fatalf("dead incarnation accepted after DC recovery: %+v", r)
@@ -103,10 +104,10 @@ func TestEpochFenceSurvivesDCLogTruncation(t *testing.T) {
 	h.epoch = 1
 	h.insert("a", "v")
 	h.ack()
-	if err := d.BeginRestart(1, 2, 1); err != nil {
+	if err := d.BeginRestart(context.Background(), 1, 2, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.EndRestart(1, 2); err != nil {
+	if err := d.EndRestart(context.Background(), 1, 2); err != nil {
 		t.Fatal(err)
 	}
 	// New incarnation fills pages (forcing splits into the DC-log), then
@@ -116,7 +117,7 @@ func TestEpochFenceSurvivesDCLogTruncation(t *testing.T) {
 		h.insert(fmt.Sprintf("key%04d", i), "v")
 	}
 	h.ack()
-	if err := d.Checkpoint(1, 2, h.next); err != nil {
+	if err := d.Checkpoint(context.Background(), 1, 2, h.next); err != nil {
 		t.Fatal(err)
 	}
 
@@ -139,12 +140,12 @@ func TestRestartControlEpochValidation(t *testing.T) {
 	h.epoch = 1
 	h.insert("a", "v")
 	h.ack()
-	if err := d.Checkpoint(1, 1, 2); err != nil {
+	if err := d.Checkpoint(context.Background(), 1, 1, 2); err != nil {
 		t.Fatal(err)
 	}
 	h.update("a", "lost") // unstable tail op
 
-	if err := d.BeginRestart(1, 3, 1); err != nil {
+	if err := d.BeginRestart(context.Background(), 1, 3, 1); err != nil {
 		t.Fatal(err)
 	}
 	resets := d.Stats().ResetPages
@@ -154,24 +155,24 @@ func TestRestartControlEpochValidation(t *testing.T) {
 
 	// Mid-restart: checkpoints are refused — stale ones permanently, the
 	// new incarnation's until end_restart activates it.
-	if err := d.Checkpoint(1, 1, 5); !base.IsStaleEpoch(err) {
+	if err := d.Checkpoint(context.Background(), 1, 1, 5); !base.IsStaleEpoch(err) {
 		t.Fatalf("stale checkpoint: %v", err)
 	}
-	if err := d.Checkpoint(1, 3, 5); err == nil || base.IsStaleEpoch(err) {
+	if err := d.Checkpoint(context.Background(), 1, 3, 5); err == nil || base.IsStaleEpoch(err) {
 		t.Fatalf("mid-restart checkpoint: %v", err)
 	}
 
 	// Late control calls of the dead incarnation are refused.
-	if err := d.BeginRestart(1, 2, 1); !base.IsStaleEpoch(err) {
+	if err := d.BeginRestart(context.Background(), 1, 2, 1); !base.IsStaleEpoch(err) {
 		t.Fatalf("stale begin-restart: %v", err)
 	}
-	if err := d.EndRestart(1, 2); !base.IsStaleEpoch(err) {
+	if err := d.EndRestart(context.Background(), 1, 2); !base.IsStaleEpoch(err) {
 		t.Fatalf("stale end-restart: %v", err)
 	}
 
 	// A duplicate delivery of the current begin_restart must not repeat
 	// the reset (redo may already have begun).
-	if err := d.BeginRestart(1, 3, 1); err != nil {
+	if err := d.BeginRestart(context.Background(), 1, 3, 1); err != nil {
 		t.Fatalf("duplicate begin-restart: %v", err)
 	}
 	if got := d.Stats().ResetPages; got != resets {
@@ -179,12 +180,12 @@ func TestRestartControlEpochValidation(t *testing.T) {
 	}
 
 	// Activation: checkpoints for the new incarnation work again.
-	if err := d.EndRestart(1, 3); err != nil {
+	if err := d.EndRestart(context.Background(), 1, 3); err != nil {
 		t.Fatal(err)
 	}
 	h.epoch = 3
 	h.ack()
-	if err := d.Checkpoint(1, 3, 2); err != nil {
+	if err := d.Checkpoint(context.Background(), 1, 3, 2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -200,7 +201,7 @@ func TestStaleWatermarksIgnoredAfterRestart(t *testing.T) {
 	h.insert("a", "v")
 	d.EndOfStableLog(1, 1, 1)
 	d.LowWaterMark(1, 1, 1)
-	if err := d.BeginRestart(1, 2, 1); err != nil {
+	if err := d.BeginRestart(context.Background(), 1, 2, 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := d.tcState(1).lwm.Load(); got != 0 {

@@ -2,6 +2,7 @@ package dc
 
 import (
 	"bytes"
+	"context"
 
 	"github.com/cidr09/unbundled/internal/base"
 	"github.com/cidr09/unbundled/internal/btree"
@@ -12,8 +13,12 @@ import (
 // Perform implements base.Service: execute one logical operation exactly
 // once. The DC does not know which user transaction the operation belongs
 // to, nor whether it is forward activity or an inverse applied during
-// rollback (§4.2.1).
-func (d *DC) Perform(op *base.Op) *base.Result {
+// rollback (§4.2.1). A context that is already done is refused up front
+// (CodeCancelled); an operation that starts executing completes.
+func (d *DC) Perform(ctx context.Context, op *base.Op) *base.Result {
+	if ctx.Err() != nil {
+		return &base.Result{LSN: op.LSN, Code: base.CodeCancelled}
+	}
 	if !d.running() {
 		d.unavailable.Add(1)
 		return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
@@ -64,10 +69,10 @@ func (d *DC) Perform(op *base.Op) *base.Result {
 // reorders them (the cross-transaction case is excluded by the TC's
 // locks). Idempotence stays per-operation — a resent batch re-runs each
 // operation through the abstract-LSN test individually.
-func (d *DC) PerformBatch(ops []*base.Op) []*base.Result {
+func (d *DC) PerformBatch(ctx context.Context, ops []*base.Op) []*base.Result {
 	out := make([]*base.Result, len(ops))
 	for i, op := range ops {
-		out[i] = d.Perform(op)
+		out[i] = d.Perform(ctx, op)
 	}
 	return out
 }

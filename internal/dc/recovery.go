@@ -1,6 +1,7 @@
 package dc
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -16,9 +17,13 @@ import (
 // Crash simulates a DC process failure: the cache and all volatile state
 // (watermarks, unforced DC-log tail) vanish; stable pages and the stable
 // DC-log survive. The DC answers CodeUnavailable until Recover runs.
+// Crashing a closed DC leaves it closed.
 func (d *DC) Crash() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.state == stateClosed {
+		return
+	}
 	d.state = stateDown
 	d.pool = nil
 	d.trees = make(map[string]*btree.Tree)
@@ -359,13 +364,13 @@ func (d *DC) redoConsolidate(pool *buffer.Pool, co *dclog.Consolidate, dlsn base
 // operation either lands before the sweep (and is stripped by it) or is
 // fenced. Together they close the window the TC-side generation check
 // cannot: a batch already on the wire when the TC died.
-func (d *DC) BeginRestart(tc base.TCID, epoch base.Epoch, stableLSN base.LSN) error {
-	if !d.running() {
-		return fmt.Errorf("dc %s: unavailable", d.cfg.Name)
+func (d *DC) BeginRestart(ctx context.Context, tc base.TCID, epoch base.Epoch, stableLSN base.LSN) error {
+	if ctx.Err() != nil {
+		return base.CancelErr(ctx)
 	}
 	pool := d.runningPool()
 	if pool == nil {
-		return fmt.Errorf("dc %s: unavailable", d.cfg.Name)
+		return d.errUnavailable()
 	}
 	s := d.tcState(tc)
 	// The whole restart — fence install, durable record, re-base, sweep,
@@ -477,9 +482,12 @@ func (d *DC) BeginRestart(tc base.TCID, epoch base.Epoch, stableLSN base.LSN) er
 // conflict-table entries are purged (fenced operations parked on page
 // barriers otherwise count as conflicts against the new incarnation's
 // operations). A late EndRestart from a dead incarnation is refused.
-func (d *DC) EndRestart(tc base.TCID, epoch base.Epoch) error {
+func (d *DC) EndRestart(ctx context.Context, tc base.TCID, epoch base.Epoch) error {
+	if ctx.Err() != nil {
+		return base.CancelErr(ctx)
+	}
 	if !d.running() {
-		return fmt.Errorf("dc %s: unavailable", d.cfg.Name)
+		return d.errUnavailable()
 	}
 	s := d.tcState(tc)
 	// Validation and activation are one ctl critical section: a dead

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -41,17 +42,18 @@ func (s Scale) kv(readFrac float64) workload.KV {
 		OpsPerTxn: 4, Seed: 42}
 }
 
-// runKVUnbundled drives the KV mix against TC 0 of a deployment.
+// runKVUnbundled drives the KV mix through the deployment client.
 func runKVUnbundled(name string, dep *core.Deployment, s Scale, readFrac float64) harness.Result {
 	kv := s.kv(readFrac)
 	gens := make([]*workload.Gen, s.Workers)
 	for i := range gens {
 		gens[i] = kv.NewGen(i)
 	}
-	tcx := dep.TCs[0]
+	ctx := context.Background()
+	client := dep.Client()
 	return harness.Run(name, s.Workers, s.TxnsPerW, func(w, i int) error {
 		g := gens[w]
-		return tcx.RunTxn(false, func(x *tc.Txn) error {
+		return client.RunTxn(ctx, core.TxnOptions{}, func(x *tc.Txn) error {
 			for j := 0; j < g.OpsPerTxn(); j++ {
 				key := g.Key()
 				if g.IsRead() {
@@ -154,7 +156,7 @@ func E3(s Scale) *harness.Table {
 				case <-stop:
 					return
 				case <-time.After(2 * time.Millisecond):
-					_, _ = dep.TCs[0].Checkpoint()
+					_, _ = dep.TCs[0].Checkpoint(context.Background())
 				}
 			}
 		}()
@@ -213,9 +215,11 @@ func E4(s Scale) *harness.Table {
 				panic(err)
 			}
 			// Preload.
+			ctx := context.Background()
+			client := dep.Client()
 			tcx := dep.TCs[0]
 			for i := 0; i < s.Keys; i += 4 {
-				if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+				if err := client.RunTxn(ctx, core.TxnOptions{}, func(x *tc.Txn) error {
 					return x.Upsert("kv", workload.KVKey(i), []byte("v"))
 				}); err != nil {
 					panic(err)
@@ -236,13 +240,13 @@ func E4(s Scale) *harness.Table {
 				g := gens[w]
 				if g.Rand().Float64() < 0.3 {
 					lo := g.Rand().Intn(s.Keys - 64)
-					return tcx.RunTxn(false, func(x *tc.Txn) error {
+					return client.RunTxn(ctx, core.TxnOptions{}, func(x *tc.Txn) error {
 						_, _, err := x.Scan("kv", workload.KVKey(lo), workload.KVKey(lo+32), 0)
 						return err
 					})
 				}
 				key := g.Key()
-				return tcx.RunTxn(false, func(x *tc.Txn) error {
+				return client.RunTxn(ctx, core.TxnOptions{}, func(x *tc.Txn) error {
 					return x.Upsert("kv", key, g.Value())
 				})
 			})

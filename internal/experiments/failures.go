@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,7 +37,7 @@ func E2(s Scale) *harness.Table {
 		}
 		res := runKVUnbundled(strat.name, dep, s, 0.2)
 		// Make every page stable and measure.
-		if _, err := dep.TCs[0].Checkpoint(); err != nil {
+		if _, err := dep.TCs[0].Checkpoint(context.Background()); err != nil {
 			panic(err)
 		}
 		st := dep.DCs[0].Pool().Stats()
@@ -83,11 +84,13 @@ func E5(s Scale) *harness.Table {
 		panic(err)
 	}
 	defer dep.Close()
+	ctx := context.Background()
+	client := dep.Client()
 	tcx := dep.TCs[0]
 	n := s.Keys
 	res := harness.Run("smo-workload", 1, 1, func(int, int) error {
 		for i := 0; i < n; i++ {
-			if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+			if err := client.RunTxn(ctx, core.TxnOptions{}, func(x *tc.Txn) error {
 				return x.Upsert("kv", workload.KVKey(i), make([]byte, s.ValueSize))
 			}); err != nil {
 				return err
@@ -98,7 +101,7 @@ func E5(s Scale) *harness.Table {
 			if i%4 == 0 {
 				continue
 			}
-			if err := tcx.RunTxn(false, func(x *tc.Txn) error {
+			if err := client.RunTxn(ctx, core.TxnOptions{}, func(x *tc.Txn) error {
 				return x.Delete("kv", workload.KVKey(i))
 			}); err != nil {
 				return err
@@ -159,18 +162,20 @@ func E6(s Scale) *harness.Table {
 		if err != nil {
 			panic(err)
 		}
+		ctx := context.Background()
+		client := dep.Client()
 		tcx := dep.TCs[0]
 		for i := 0; i < s.Keys/2; i++ {
-			must(tcx.RunTxn(false, func(x *tc.Txn) error {
+			must(client.RunTxn(ctx, core.TxnOptions{}, func(x *tc.Txn) error {
 				return x.Upsert("kv", workload.KVKey(i), make([]byte, s.ValueSize))
 			}))
 		}
-		if _, err := tcx.Checkpoint(); err != nil {
+		if _, err := tcx.Checkpoint(context.Background()); err != nil {
 			panic(err)
 		}
 		base := tcx.Stats().RedoOps
 		for i := 0; i < since; i++ {
-			must(tcx.RunTxn(false, func(x *tc.Txn) error {
+			must(client.RunTxn(ctx, core.TxnOptions{}, func(x *tc.Txn) error {
 				return x.Upsert("kv", workload.KVKey(i), []byte("post-ckpt"))
 			}))
 		}
@@ -197,19 +202,21 @@ func E6(s Scale) *harness.Table {
 		if err != nil {
 			panic(err)
 		}
+		ctx := context.Background()
+		client := dep.Client()
 		tcx := dep.TCs[0]
 		for i := 0; i < s.Keys/2; i++ {
-			must(tcx.RunTxn(false, func(x *tc.Txn) error {
+			must(client.RunTxn(ctx, core.TxnOptions{}, func(x *tc.Txn) error {
 				return x.Upsert("kv", workload.KVKey(i), make([]byte, s.ValueSize))
 			}))
 		}
-		if _, err := tcx.Checkpoint(); err != nil {
+		if _, err := tcx.Checkpoint(context.Background()); err != nil {
 			panic(err)
 		}
 		// An uncommitted transaction whose operations reached the DC cache
 		// but whose log records were never forced: exactly the lost-tail
 		// state of §5.3.2. Only the pages it touched carry lost state.
-		ghost := tcx.Begin(false)
+		ghost := tcx.Begin(ctx, tc.TxnOptions{})
 		for i := 0; i < 32; i++ {
 			must(ghost.Upsert("kv", workload.KVKey(i*7), []byte("lost-tail")))
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,8 @@ func E7(s Scale) *harness.Table {
 		if err != nil {
 			panic(err)
 		}
+		ctx := context.Background()
+		client := dep.Client()
 		var wg sync.WaitGroup
 		var committed atomic.Uint64
 		start := time.Now()
@@ -31,11 +34,11 @@ func E7(s Scale) *harness.Table {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				tcx := dep.TCs[w]
+				owner := core.TxnOptions{TC: w + 1, Versioned: true}
 				g := s.kv(0).NewGen(w)
 				for i := 0; i < s.TxnsPerW; i++ {
 					key := fmt.Sprintf("p%d/%s", w, g.Key())
-					if err := tcx.RunTxn(true, func(x *tc.Txn) error {
+					if err := client.RunTxn(ctx, owner, func(x *tc.Txn) error {
 						return x.Upsert("users", key, g.Value())
 					}); err == nil {
 						committed.Add(1)
@@ -50,7 +53,7 @@ func E7(s Scale) *harness.Table {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			reader := dep.TCs[tcs]
+			reader := core.TxnOptions{TC: tcs + 1, ReadOnly: true}
 			g := s.kv(1).NewGen(99)
 			for {
 				select {
@@ -60,7 +63,7 @@ func E7(s Scale) *harness.Table {
 				}
 				key := fmt.Sprintf("p%d/%s", int(readerReads.Load())%tcs, g.Key())
 				t0 := time.Now()
-				_ = reader.RunTxn(false, func(x *tc.Txn) error {
+				_ = client.RunTxn(ctx, reader, func(x *tc.Txn) error {
 					_, _, err := x.ReadCommitted("users", key)
 					return err
 				})
@@ -113,10 +116,12 @@ func F2(s Scale) *harness.Table {
 		panic(err)
 	}
 	defer dep.Close()
-	reader := dep.TCs[updateTCs]
+	ctx := context.Background()
+	client := dep.Client()
+	reader := core.TxnOptions{TC: updateTCs + 1, ReadOnly: true}
 
-	// Seed movies and users (admin TC 0 owns the bulk load).
-	must(dep.TCs[0].RunTxn(false, func(x *tc.Txn) error {
+	// Seed movies and users (admin TC 1 owns the bulk load).
+	must(client.RunTxn(ctx, core.TxnOptions{TC: 1}, func(x *tc.Txn) error {
 		for m := 0; m < p.Movies; m++ {
 			if err := x.Upsert(workload.TableMovies, workload.MovieKey(m),
 				[]byte(fmt.Sprintf("movie-%d", m))); err != nil {
@@ -126,8 +131,8 @@ func F2(s Scale) *harness.Table {
 		return nil
 	}))
 	for u := 0; u < p.Users; u++ {
-		owner := dep.TCs[p.OwnerTC(u, updateTCs)]
-		must(owner.RunTxn(true, func(x *tc.Txn) error {
+		owner := core.TxnOptions{TC: p.OwnerTC(u, updateTCs) + 1, Versioned: true}
+		must(client.RunTxn(ctx, owner, func(x *tc.Txn) error {
 			return x.Upsert(workload.TableUsers, workload.UserKey(u),
 				[]byte(fmt.Sprintf("profile-%d", u)))
 		}))
@@ -145,9 +150,9 @@ func F2(s Scale) *harness.Table {
 		g := gens[w]
 		u := g.Rand().Intn(p.Users)
 		m := g.Rand().Intn(p.Movies)
-		owner := dep.TCs[p.OwnerTC(u, updateTCs)]
+		owner := core.TxnOptions{TC: p.OwnerTC(u, updateTCs) + 1, Versioned: true}
 		review := []byte(fmt.Sprintf("review of %d by %d (#%d)", m, u, i))
-		return owner.RunTxn(true, func(x *tc.Txn) error {
+		return client.RunTxn(ctx, owner, func(x *tc.Txn) error {
 			if err := x.Upsert(workload.TableReviews, workload.ReviewKey(m, u), review); err != nil {
 				return err
 			}
@@ -161,8 +166,8 @@ func F2(s Scale) *harness.Table {
 	w3 := harness.Run("W3 update profile", s.Workers, s.TxnsPerW/2, func(w, i int) error {
 		g := gens[w]
 		u := g.Rand().Intn(p.Users)
-		owner := dep.TCs[p.OwnerTC(u, updateTCs)]
-		return owner.RunTxn(true, func(x *tc.Txn) error {
+		owner := core.TxnOptions{TC: p.OwnerTC(u, updateTCs) + 1, Versioned: true}
+		return client.RunTxn(ctx, owner, func(x *tc.Txn) error {
 			return x.Upsert(workload.TableUsers, workload.UserKey(u),
 				[]byte(fmt.Sprintf("profile-%d-v%d", u, i)))
 		})
@@ -177,7 +182,7 @@ func F2(s Scale) *harness.Table {
 		g := gens[w]
 		m := g.Rand().Intn(p.Movies)
 		prefix := workload.MovieKey(m) + "/"
-		return reader.RunTxn(false, func(x *tc.Txn) error {
+		return client.RunTxn(ctx, reader, func(x *tc.Txn) error {
 			_, _, err := x.ScanCommitted(workload.TableReviews, prefix, prefix+"~", 0)
 			return err
 		})
@@ -190,9 +195,9 @@ func F2(s Scale) *harness.Table {
 	w4 := harness.Run("W4 reviews by user", s.Workers, s.TxnsPerW/2, func(w, i int) error {
 		g := gens[w]
 		u := g.Rand().Intn(p.Users)
-		owner := dep.TCs[p.OwnerTC(u, updateTCs)]
+		owner := core.TxnOptions{TC: p.OwnerTC(u, updateTCs) + 1}
 		prefix := workload.UserKey(u) + "/"
-		return owner.RunTxn(false, func(x *tc.Txn) error {
+		return client.RunTxn(ctx, owner, func(x *tc.Txn) error {
 			_, _, err := x.Scan(workload.TableMyReviews, prefix, prefix+"~", 0)
 			return err
 		})
@@ -214,10 +219,12 @@ func F1(s Scale) *harness.Table {
 		panic(err)
 	}
 	defer dep.Close()
+	ctx := context.Background()
+	client := dep.Client()
 	t := harness.NewTable("dcKind")
 	app1 := harness.Run("app1 photo+index", s.Workers, s.TxnsPerW/2, func(w, i int) error {
 		id := fmt.Sprintf("p%d-%d", w, i)
-		return dep.TCs[0].RunTxn(false, func(x *tc.Txn) error {
+		return client.RunTxn(ctx, core.TxnOptions{TC: 1}, func(x *tc.Txn) error {
 			if err := x.Upsert("photos", "a1/"+id, []byte("blob")); err != nil {
 				return err
 			}
@@ -230,7 +237,7 @@ func F1(s Scale) *harness.Table {
 	app1.ExtraCols = []string{"record+inverted+geo"}
 	t.Add(app1)
 	app2 := harness.Run("app2 accounts", s.Workers, s.TxnsPerW/2, func(w, i int) error {
-		return dep.TCs[1].RunTxn(false, func(x *tc.Txn) error {
+		return client.RunTxn(ctx, core.TxnOptions{TC: 2}, func(x *tc.Txn) error {
 			return x.Upsert("accounts", fmt.Sprintf("a2/u%d-%d", w, i), []byte("acct"))
 		})
 	})

@@ -15,7 +15,7 @@
 package lockmgr
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -121,10 +121,12 @@ func (r Resource) String() string {
 	}
 }
 
-// Errors returned by Lock.
+// Errors returned by Lock. Both wrap the corresponding taxonomy sentinel,
+// so errors.Is(err, base.ErrDeadlock) / base.ErrLockTimeout (and therefore
+// base.IsTransient) hold anywhere the failure propagates.
 var (
-	ErrDeadlock = errors.New("lockmgr: deadlock victim")
-	ErrTimeout  = errors.New("lockmgr: lock wait timeout")
+	ErrDeadlock = fmt.Errorf("lockmgr: deadlock victim: %w", base.ErrDeadlock)
+	ErrTimeout  = fmt.Errorf("lockmgr: lock wait timeout: %w", base.ErrLockTimeout)
 )
 
 // Stats counts lock-manager activity; experiment E4 compares lock overhead
@@ -134,6 +136,7 @@ type Stats struct {
 	Waited    uint64
 	Deadlocks uint64
 	Timeouts  uint64
+	Cancels   uint64
 	Upgrades  uint64
 }
 
@@ -161,7 +164,7 @@ type Manager struct {
 	// detection still applies).
 	Timeout time.Duration
 
-	acquired, waited, deadlocks, timeouts, upgrades atomic.Uint64
+	acquired, waited, deadlocks, timeouts, cancels, upgrades atomic.Uint64
 }
 
 // New returns an empty lock manager.
@@ -173,12 +176,20 @@ func New() *Manager {
 	}
 }
 
-// Lock acquires res in mode for txn, blocking until granted. It returns
-// ErrDeadlock if granting would close a waits-for cycle (the caller should
-// abort the transaction) or ErrTimeout if the configured wait expires.
-// Re-acquiring a covered mode is a no-op; requesting a stronger mode
-// upgrades.
-func (m *Manager) Lock(txn base.TxnID, res Resource, mode Mode) error {
+// Lock acquires res in mode for txn with the manager's default wait bound,
+// blocking until granted, the wait expires, or ctx is done. See LockWait.
+func (m *Manager) Lock(ctx context.Context, txn base.TxnID, res Resource, mode Mode) error {
+	return m.LockWait(ctx, txn, res, mode, m.Timeout)
+}
+
+// LockWait acquires res in mode for txn, blocking until granted. timeout
+// bounds this wait (zero: wait forever); it overrides the manager default,
+// which lets callers carry a per-transaction bound. It returns ErrDeadlock
+// if granting would close a waits-for cycle (the caller should abort the
+// transaction), ErrTimeout if the wait expires, or an ErrCancelled-wrapped
+// ctx error if ctx is done first. Re-acquiring a covered mode is a no-op;
+// requesting a stronger mode upgrades.
+func (m *Manager) LockWait(ctx context.Context, txn base.TxnID, res Resource, mode Mode, timeout time.Duration) error {
 	m.mu.Lock()
 	cur := m.held[txn][res]
 	if cur.Covers(mode) {
@@ -217,18 +228,17 @@ func (m *Manager) Lock(txn base.TxnID, res Resource, mode Mode) error {
 	m.waited.Add(1)
 	m.mu.Unlock()
 
-	var timeout <-chan time.Time
-	if m.Timeout > 0 {
-		t := time.NewTimer(m.Timeout)
+	var expire <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
 		defer t.Stop()
-		timeout = t.C
+		expire = t.C
 	}
-	select {
-	case err := <-req.ready:
-		return err
-	case <-timeout:
+	// abandon withdraws the request unless a grant won the race; the
+	// re-check under the mutex closes the window where wakeLocked already
+	// delivered into req.ready.
+	abandon := func(count *atomic.Uint64, failure error) error {
 		m.mu.Lock()
-		// Racy with a concurrent grant: re-check under the mutex.
 		select {
 		case err := <-req.ready:
 			m.mu.Unlock()
@@ -237,9 +247,17 @@ func (m *Manager) Lock(txn base.TxnID, res Resource, mode Mode) error {
 		}
 		m.removeRequestLocked(m.locks[res], req)
 		delete(m.waiting, txn)
-		m.timeouts.Add(1)
+		count.Add(1)
 		m.mu.Unlock()
-		return ErrTimeout
+		return failure
+	}
+	select {
+	case err := <-req.ready:
+		return err
+	case <-expire:
+		return abandon(&m.timeouts, ErrTimeout)
+	case <-ctx.Done():
+		return abandon(&m.cancels, fmt.Errorf("lockmgr: wait for %v abandoned: %w", res, base.CancelErr(ctx)))
 	}
 }
 
@@ -427,6 +445,7 @@ func (m *Manager) Stats() Stats {
 		Waited:    m.waited.Load(),
 		Deadlocks: m.deadlocks.Load(),
 		Timeouts:  m.timeouts.Load(),
+		Cancels:   m.cancels.Load(),
 		Upgrades:  m.upgrades.Load(),
 	}
 }

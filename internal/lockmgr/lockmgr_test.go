@@ -1,6 +1,7 @@
 package lockmgr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -44,15 +45,15 @@ func TestCovers(t *testing.T) {
 func TestSharedThenExclusiveBlocks(t *testing.T) {
 	m := New()
 	r := KeyRes("t", "k")
-	if err := m.Lock(1, r, S); err != nil {
+	if err := m.Lock(context.Background(), 1, r, S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Lock(2, r, S); err != nil {
+	if err := m.Lock(context.Background(), 2, r, S); err != nil {
 		t.Fatal(err)
 	}
 	granted := make(chan struct{})
 	go func() {
-		if err := m.Lock(3, r, X); err != nil {
+		if err := m.Lock(context.Background(), 3, r, X); err != nil {
 			t.Error(err)
 		}
 		close(granted)
@@ -80,15 +81,15 @@ func TestReacquireIsNoop(t *testing.T) {
 	m := New()
 	r := KeyRes("t", "k")
 	for i := 0; i < 3; i++ {
-		if err := m.Lock(1, r, X); err != nil {
+		if err := m.Lock(context.Background(), 1, r, X); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := m.Lock(1, r, S); err != nil {
+	if err := m.Lock(context.Background(), 1, r, S); err != nil {
 		t.Fatal("X must cover S re-request")
 	}
 	m.ReleaseAll(1)
-	if err := m.Lock(2, r, X); err != nil {
+	if err := m.Lock(context.Background(), 2, r, X); err != nil {
 		t.Fatal("release-all did not free the lock")
 	}
 }
@@ -96,14 +97,14 @@ func TestReacquireIsNoop(t *testing.T) {
 func TestUpgrade(t *testing.T) {
 	m := New()
 	r := KeyRes("t", "k")
-	if err := m.Lock(1, r, S); err != nil {
+	if err := m.Lock(context.Background(), 1, r, S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Lock(2, r, S); err != nil {
+	if err := m.Lock(context.Background(), 2, r, S); err != nil {
 		t.Fatal(err)
 	}
 	upgraded := make(chan error, 1)
-	go func() { upgraded <- m.Lock(1, r, X) }()
+	go func() { upgraded <- m.Lock(context.Background(), 1, r, X) }()
 	select {
 	case err := <-upgraded:
 		t.Fatalf("upgrade granted while other S holder present: %v", err)
@@ -121,14 +122,14 @@ func TestUpgrade(t *testing.T) {
 func TestUpgradeJumpsQueue(t *testing.T) {
 	m := New()
 	r := KeyRes("t", "k")
-	m.Lock(1, r, S)
+	m.Lock(context.Background(), 1, r, S)
 	// Txn 2 queues for X behind txn 1's S.
 	got2 := make(chan error, 1)
-	go func() { got2 <- m.Lock(2, r, X) }()
+	go func() { got2 <- m.Lock(context.Background(), 2, r, X) }()
 	time.Sleep(10 * time.Millisecond)
 	// Txn 1 upgrades: must jump ahead of txn 2 (and be granted since it is
 	// the only holder).
-	if err := m.Lock(1, r, X); err != nil {
+	if err := m.Lock(context.Background(), 1, r, X); err != nil {
 		t.Fatalf("upgrade: %v", err)
 	}
 	m.ReleaseAll(1)
@@ -140,12 +141,12 @@ func TestUpgradeJumpsQueue(t *testing.T) {
 func TestDeadlockDetected(t *testing.T) {
 	m := New()
 	ra, rb := KeyRes("t", "a"), KeyRes("t", "b")
-	m.Lock(1, ra, X)
-	m.Lock(2, rb, X)
+	m.Lock(context.Background(), 1, ra, X)
+	m.Lock(context.Background(), 2, rb, X)
 	errs := make(chan error, 2)
-	go func() { errs <- m.Lock(1, rb, X) }()
+	go func() { errs <- m.Lock(context.Background(), 1, rb, X) }()
 	time.Sleep(20 * time.Millisecond)
-	go func() { errs <- m.Lock(2, ra, X) }()
+	go func() { errs <- m.Lock(context.Background(), 2, ra, X) }()
 	err := <-errs
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("expected deadlock, got %v", err)
@@ -164,15 +165,15 @@ func TestDeadlockDetected(t *testing.T) {
 func TestThreeWayDeadlock(t *testing.T) {
 	m := New()
 	r := func(k string) Resource { return KeyRes("t", k) }
-	m.Lock(1, r("a"), X)
-	m.Lock(2, r("b"), X)
-	m.Lock(3, r("c"), X)
+	m.Lock(context.Background(), 1, r("a"), X)
+	m.Lock(context.Background(), 2, r("b"), X)
+	m.Lock(context.Background(), 3, r("c"), X)
 	errs := make(chan error, 3)
-	go func() { errs <- m.Lock(1, r("b"), X) }()
+	go func() { errs <- m.Lock(context.Background(), 1, r("b"), X) }()
 	time.Sleep(10 * time.Millisecond)
-	go func() { errs <- m.Lock(2, r("c"), X) }()
+	go func() { errs <- m.Lock(context.Background(), 2, r("c"), X) }()
 	time.Sleep(10 * time.Millisecond)
-	go func() { errs <- m.Lock(3, r("a"), X) }()
+	go func() { errs <- m.Lock(context.Background(), 3, r("a"), X) }()
 	err := <-errs
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("expected deadlock, got %v", err)
@@ -187,9 +188,9 @@ func TestTimeout(t *testing.T) {
 	m := New()
 	m.Timeout = 30 * time.Millisecond
 	r := KeyRes("t", "k")
-	m.Lock(1, r, X)
+	m.Lock(context.Background(), 1, r, X)
 	start := time.Now()
-	err := m.Lock(2, r, X)
+	err := m.Lock(context.Background(), 2, r, X)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want timeout, got %v", err)
 	}
@@ -198,7 +199,7 @@ func TestTimeout(t *testing.T) {
 	}
 	// After the timeout the queue entry is gone; release and re-acquire.
 	m.ReleaseAll(1)
-	if err := m.Lock(2, r, X); err != nil {
+	if err := m.Lock(context.Background(), 2, r, X); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -206,18 +207,18 @@ func TestTimeout(t *testing.T) {
 func TestFIFOFairnessNoStarvation(t *testing.T) {
 	m := New()
 	r := KeyRes("t", "k")
-	m.Lock(1, r, S)
+	m.Lock(context.Background(), 1, r, S)
 	// Writer queues.
 	wGot := make(chan struct{})
 	go func() {
-		m.Lock(2, r, X)
+		m.Lock(context.Background(), 2, r, X)
 		close(wGot)
 	}()
 	time.Sleep(10 * time.Millisecond)
 	// A later reader must NOT jump ahead of the queued writer.
 	rGot := make(chan struct{})
 	go func() {
-		m.Lock(3, r, S)
+		m.Lock(context.Background(), 3, r, S)
 		close(rGot)
 	}()
 	select {
@@ -247,7 +248,7 @@ func TestStressMutualExclusion(t *testing.T) {
 			for i := 0; i < 300; i++ {
 				txn := base.TxnID(id*1000 + i + 1)
 				if rnd.Intn(2) == 0 {
-					if err := m.Lock(txn, res, S); err != nil {
+					if err := m.Lock(context.Background(), txn, res, S); err != nil {
 						continue
 					}
 					readers.Add(1)
@@ -256,7 +257,7 @@ func TestStressMutualExclusion(t *testing.T) {
 					}
 					readers.Add(-1)
 				} else {
-					if err := m.Lock(txn, res, X); err != nil {
+					if err := m.Lock(context.Background(), txn, res, X); err != nil {
 						continue
 					}
 					writers.Add(1)
@@ -292,7 +293,7 @@ func TestRandomStressNoLostWakeups(t *testing.T) {
 				for j := 0; j < n; j++ {
 					res := KeyRes("t", keys[rnd.Intn(len(keys))])
 					mode := []Mode{S, U, X}[rnd.Intn(3)]
-					if err := m.Lock(txn, res, mode); err != nil {
+					if err := m.Lock(context.Background(), txn, res, mode); err != nil {
 						ok = false
 						break
 					}
@@ -402,7 +403,7 @@ func BenchmarkUncontendedLock(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		txn := base.TxnID(i + 1)
-		m.Lock(txn, res, X)
+		m.Lock(context.Background(), txn, res, X)
 		m.ReleaseAll(txn)
 	}
 }
@@ -416,9 +417,113 @@ func BenchmarkLockPerKey(b *testing.B) {
 			i++
 			txn := base.TxnID(rand.Int63() + 1)
 			res := KeyRes("t", fmt.Sprintf("k%d", i%1024))
-			if m.Lock(txn, res, S) == nil {
+			if m.Lock(context.Background(), txn, res, S) == nil {
 				m.ReleaseAll(txn)
 			}
 		}
 	})
+}
+
+// TestErrorTaxonomy pins the sentinel folding: lockmgr failures must
+// errors.Is-match the public taxonomy (and classify as transient) so
+// retry policies can branch without string matching.
+func TestErrorTaxonomy(t *testing.T) {
+	if !errors.Is(ErrDeadlock, base.ErrDeadlock) {
+		t.Fatal("ErrDeadlock does not fold into base.ErrDeadlock")
+	}
+	if !errors.Is(ErrTimeout, base.ErrLockTimeout) {
+		t.Fatal("ErrTimeout does not fold into base.ErrLockTimeout")
+	}
+	if !base.IsTransient(ErrDeadlock) || !base.IsTransient(ErrTimeout) {
+		t.Fatal("deadlock/timeout must classify as transient")
+	}
+
+	// End to end: a real deadlock and a real timeout carry the sentinels.
+	m := New()
+	ra, rb := KeyRes("t", "a"), KeyRes("t", "b")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.Lock(context.Background(), 1, ra, X))
+	must(m.Lock(context.Background(), 2, rb, X))
+	errs := make(chan error, 1)
+	go func() { errs <- m.Lock(context.Background(), 1, rb, X) }()
+	time.Sleep(20 * time.Millisecond)
+	err := m.Lock(context.Background(), 2, ra, X)
+	if !errors.Is(err, base.ErrDeadlock) {
+		t.Fatalf("deadlock error %v does not match base.ErrDeadlock", err)
+	}
+	m.ReleaseAll(2)
+	must(<-errs)
+	m.ReleaseAll(1)
+
+	m.Lock(context.Background(), 3, ra, X)
+	if err := m.LockWait(context.Background(), 4, ra, X, 20*time.Millisecond); !errors.Is(err, base.ErrLockTimeout) {
+		t.Fatalf("timeout error %v does not match base.ErrLockTimeout", err)
+	}
+	m.ReleaseAll(3)
+}
+
+// TestLockWaitCancellation: a blocked lock wait returns promptly when the
+// context is cancelled, the error matches both ErrCancelled and the
+// context's own error, and the abandoned request leaves no queue residue
+// (the resource is re-acquirable and the waits-for graph is clean).
+func TestLockWaitCancellation(t *testing.T) {
+	m := New()
+	r := KeyRes("t", "k")
+	if err := m.Lock(context.Background(), 1, r, X); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 1)
+	go func() { errs <- m.Lock(ctx, 2, r, X) }()
+	time.Sleep(10 * time.Millisecond) // let txn 2 enqueue
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, base.ErrCancelled) {
+			t.Fatalf("want ErrCancelled, got %v", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled via errors.Is, got %v", err)
+		}
+		if base.IsTransient(err) {
+			t.Fatal("cancellation must not classify as transient")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled lock wait did not return")
+	}
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Fatalf("cancelled wait took %v", el)
+	}
+	if m.Stats().Cancels != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+	// The abandoned request must be gone: release and re-acquire works.
+	m.ReleaseAll(1)
+	if err := m.Lock(context.Background(), 3, r, X); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+// TestLockDeadlineExceeded: a context deadline behaves like cancellation
+// and surfaces context.DeadlineExceeded through errors.Is.
+func TestLockDeadlineExceeded(t *testing.T) {
+	m := New()
+	r := KeyRes("t", "k")
+	if err := m.Lock(context.Background(), 1, r, X); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := m.Lock(ctx, 2, r, X)
+	if !errors.Is(err, base.ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want ErrCancelled + DeadlineExceeded, got %v", err)
+	}
+	m.ReleaseAll(1)
 }

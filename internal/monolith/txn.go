@@ -1,6 +1,7 @@
 package monolith
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -87,7 +88,7 @@ func (x *Txn) Read(table, key string) ([]byte, bool, error) {
 }
 
 func (x *Txn) lock(table, key string, mode lockmgr.Mode) error {
-	if err := x.e.locks.Lock(x.id, lockmgr.KeyRes(table, key), mode); err != nil {
+	if err := x.e.locks.Lock(context.Background(), x.id, lockmgr.KeyRes(table, key), mode); err != nil {
 		_ = x.Abort()
 		return err
 	}
@@ -211,7 +212,7 @@ func (x *Txn) Scan(table, lo, hi string, limit int) (keys []string, vals [][]byt
 	}
 	// Lock what was seen (keys determined inside the engine).
 	for _, k := range keys {
-		if lerr := x.e.locks.Lock(x.id, lockmgr.KeyRes(table, k), lockmgr.S); lerr != nil {
+		if lerr := x.e.locks.Lock(context.Background(), x.id, lockmgr.KeyRes(table, k), lockmgr.S); lerr != nil {
 			_ = x.Abort()
 			return nil, nil, lerr
 		}

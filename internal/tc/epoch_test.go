@@ -1,6 +1,7 @@
 package tc
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -46,15 +47,15 @@ func newGatedService(svc base.Service) *gatedService {
 	}
 }
 
-func (g *gatedService) PerformBatch(ops []*base.Op) []*base.Result {
+func (g *gatedService) PerformBatch(ctx context.Context, ops []*base.Op) []*base.Result {
 	if g.armed.CompareAndSwap(true, false) {
 		g.parked <- struct{}{}
 		<-g.gate
-		rs := g.Service.PerformBatch(ops)
+		rs := g.Service.PerformBatch(ctx, ops)
 		g.results <- rs
 		return rs
 	}
-	return g.Service.PerformBatch(ops)
+	return g.Service.PerformBatch(ctx, ops)
 }
 
 // TestStaleBatchFencedAtDCAfterTCRestart is the end-to-end fence: the TC
@@ -79,7 +80,7 @@ func TestStaleBatchFencedAtDCAfterTCRestart(t *testing.T) {
 		}
 		t.Cleanup(tcx.Close)
 
-		if err := tcx.RunTxn(false, func(x *Txn) error {
+		if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 			return x.Insert("t", "committed", []byte("keep"))
 		}); err != nil {
 			t.Fatal(err)
@@ -88,7 +89,7 @@ func TestStaleBatchFencedAtDCAfterTCRestart(t *testing.T) {
 		// A versioned blind upsert posts straight into the pipeline; the
 		// wrapper freezes the shipped batch mid-flight.
 		gated.armed.Store(true)
-		ghost := tcx.Begin(true)
+		ghost := tcx.Begin(context.Background(), TxnOptions{Versioned: true})
 		if err := ghost.Upsert("t", "ghost", []byte("x")); err != nil {
 			t.Fatal(err)
 		}
@@ -115,7 +116,7 @@ func TestStaleBatchFencedAtDCAfterTCRestart(t *testing.T) {
 		if d.Stats().StaleEpochs == 0 {
 			t.Fatalf("iter %d: fence never fired", it)
 		}
-		if r := d.Perform(&base.Op{TC: 9, Kind: base.OpRead, Table: "t", Key: "ghost",
+		if r := d.Perform(context.Background(), &base.Op{TC: 9, Kind: base.OpRead, Table: "t", Key: "ghost",
 			Flavor: base.ReadDirty}); r.Found {
 			t.Fatalf("iter %d: stale batch applied after restart", it)
 		}
@@ -123,12 +124,12 @@ func TestStaleBatchFencedAtDCAfterTCRestart(t *testing.T) {
 		// The restarted incarnation reuses the dead one's LSN space; its
 		// writes must execute fresh (clean abstract-LSN tables) and the
 		// committed data must be intact.
-		if err := tcx.RunTxn(true, func(x *Txn) error {
+		if err := tcx.RunTxn(context.Background(), TxnOptions{Versioned: true}, func(x *Txn) error {
 			return x.Upsert("t", "after", []byte("ok"))
 		}); err != nil {
 			t.Fatal(err)
 		}
-		if err := tcx.RunTxn(false, func(x *Txn) error {
+		if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 			if v, ok, _ := x.Read("t", "committed"); !ok || string(v) != "keep" {
 				return fmt.Errorf("committed data wrong: %q %v", v, ok)
 			}
@@ -153,7 +154,7 @@ func TestEpochMonotonicAcrossRestarts(t *testing.T) {
 	if got := tcx.Epoch(); got != 1 {
 		t.Fatalf("fresh TC epoch = %d, want 1", got)
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "k", []byte("v"))
 	}); err != nil {
 		t.Fatal(err)
@@ -171,7 +172,7 @@ func TestEpochMonotonicAcrossRestarts(t *testing.T) {
 		}
 	}
 	// Still fully usable.
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "after", []byte("v"))
 	}); err != nil {
 		t.Fatal(err)
@@ -184,13 +185,13 @@ func TestEpochMonotonicAcrossRestarts(t *testing.T) {
 func TestEpochSurvivesLogTruncation(t *testing.T) {
 	tcx, _ := newPair(t, Config{})
 	for i := 0; i < 10; i++ {
-		if err := tcx.RunTxn(false, func(x *Txn) error {
+		if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 			return x.Insert("t", fmt.Sprintf("k%02d", i), []byte("v"))
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := tcx.Checkpoint(); err != nil {
+	if _, err := tcx.Checkpoint(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if start := tcx.Log().StartLSN(); start <= 1 {
@@ -204,12 +205,12 @@ func TestEpochSurvivesLogTruncation(t *testing.T) {
 		t.Fatalf("epoch after truncated-log restart = %d, want 2", got)
 	}
 	// A second truncation + restart keeps climbing.
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "more", []byte("v"))
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tcx.Checkpoint(); err != nil {
+	if _, err := tcx.Checkpoint(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	tcx.Crash()

@@ -1,7 +1,7 @@
 package tc
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -29,20 +29,22 @@ import (
 // ErrTCStopped is recorded against outstanding pipelined operations when
 // the TC is closed or crashes before their acknowledgements arrive. The
 // operations themselves are in the TC-log: recovery re-delivers or undoes
-// them, so the error reports an interrupted session, not lost data.
-var ErrTCStopped = errors.New("tc: stopped with pipelined operations outstanding")
+// them, so the error reports an interrupted session, not lost data. It
+// folds into the taxonomy as a component-unavailable failure.
+var ErrTCStopped = fmt.Errorf("tc: stopped with pipelined operations outstanding: %w", base.ErrUnavailable)
 
 // pending tracks one transaction's outstanding pipelined operations: a
 // count plus the first failure. Commit and Abort (and scans, for
-// read-your-writes) barrier on it before relying on DC state.
+// read-your-writes) barrier on it before relying on DC state. The barrier
+// signal is a channel so waiters can honor context cancellation.
 type pending struct {
 	mu          sync.Mutex
-	cond        *sync.Cond
 	outstanding int
 	err         error
+	// zero is non-nil only while a waiter needs the outstanding-reached-
+	// zero signal; done closes and clears it.
+	zero chan struct{}
 }
-
-func (p *pending) init() { p.cond = sync.NewCond(&p.mu) }
 
 func (p *pending) add() {
 	p.mu.Lock()
@@ -57,21 +59,36 @@ func (p *pending) done(err error) {
 	if err != nil && p.err == nil {
 		p.err = err
 	}
-	if p.outstanding == 0 {
-		p.cond.Broadcast()
+	if p.outstanding == 0 && p.zero != nil {
+		close(p.zero)
+		p.zero = nil
 	}
 	p.mu.Unlock()
 }
 
-// wait blocks until every posted operation has been retired and returns
-// the first failure observed (sticky across calls).
-func (p *pending) wait() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for p.outstanding > 0 {
-		p.cond.Wait()
+// wait blocks until every posted operation has been retired — returning
+// the first failure observed (sticky across calls) — or until ctx is done,
+// returning the ErrCancelled-wrapped ctx error. An abandoned wait leaves
+// the barrier intact: outstanding operations still retire normally.
+func (p *pending) wait(ctx context.Context) error {
+	for {
+		p.mu.Lock()
+		if p.outstanding == 0 {
+			err := p.err
+			p.mu.Unlock()
+			return err
+		}
+		if p.zero == nil {
+			p.zero = make(chan struct{})
+		}
+		ch := p.zero
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return base.CancelErr(ctx)
+		}
 	}
-	return p.err
 }
 
 // pipeItem is one queued operation plus its transaction's barrier. The
@@ -198,10 +215,13 @@ func (p *pipeline) ship(items []pipeItem) {
 		for _, it := range items {
 			ops = append(ops, it.op)
 		}
-		p.h.waitReady()
+		// The pipeline ships on behalf of many transactions and the ops are
+		// logged, so delivery is never cancelled by any one caller's
+		// context; Close/crash are the only ways out of this loop.
+		p.h.waitReady(context.Background())
 		// Singleton batches are the service's concern: the wire stub
 		// already degrades them to a plain Perform message.
-		results := p.h.svc.PerformBatch(ops)
+		results := p.h.svc.PerformBatch(context.Background(), ops)
 		p.t.opsSent.Add(uint64(len(ops)))
 		unavailable := false
 		for _, r := range results {

@@ -1,6 +1,7 @@
 package tc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -20,14 +21,14 @@ type slowService struct {
 	delay time.Duration
 }
 
-func (s *slowService) Perform(op *base.Op) *base.Result {
+func (s *slowService) Perform(ctx context.Context, op *base.Op) *base.Result {
 	time.Sleep(s.delay)
-	return s.Service.Perform(op)
+	return s.Service.Perform(ctx, op)
 }
 
-func (s *slowService) PerformBatch(ops []*base.Op) []*base.Result {
+func (s *slowService) PerformBatch(ctx context.Context, ops []*base.Op) []*base.Result {
 	time.Sleep(s.delay)
-	return s.Service.PerformBatch(ops)
+	return s.Service.PerformBatch(ctx, ops)
 }
 
 // newPipelinedPair wires one pipelined TC to one DC through a delay.
@@ -56,7 +57,7 @@ func newPipelinedPair(t *testing.T, delay time.Duration) (*TC, *dc.DC) {
 
 func TestPipelinedWriteSemantics(t *testing.T) {
 	tcx, _ := newPipelinedPair(t, 0)
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		if err := x.Insert("t", "k", []byte("v1")); err != nil {
 			return err
 		}
@@ -74,7 +75,7 @@ func TestPipelinedWriteSemantics(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		if err := x.Upsert("t", "k", []byte("v2")); err != nil {
 			return err
 		}
@@ -82,7 +83,7 @@ func TestPipelinedWriteSemantics(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		if _, ok, _ := x.Read("t", "k"); ok {
 			return fmt.Errorf("key survived delete")
 		}
@@ -99,7 +100,7 @@ func TestPipelinedCommitAckBarrier(t *testing.T) {
 	tcx, d := newPipelinedPair(t, 2*time.Millisecond)
 	const n = 5
 	start := time.Now()
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		for i := 0; i < n; i++ {
 			if err := x.Insert("t", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
 				return err
@@ -114,7 +115,7 @@ func TestPipelinedCommitAckBarrier(t *testing.T) {
 	}
 	// After Commit returns, the DC must reflect every write.
 	for i := 0; i < n; i++ {
-		r := d.Perform(&base.Op{TC: 9, Kind: base.OpRead, Table: "t",
+		r := d.Perform(context.Background(), &base.Op{TC: 9, Kind: base.OpRead, Table: "t",
 			Key: fmt.Sprintf("k%d", i), Flavor: base.ReadDirty})
 		if !r.Found {
 			t.Fatalf("k%d not applied at DC after commit", i)
@@ -124,12 +125,12 @@ func TestPipelinedCommitAckBarrier(t *testing.T) {
 
 func TestPipelinedAbortDrainsBeforeUndo(t *testing.T) {
 	tcx, _ := newPipelinedPair(t, time.Millisecond)
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "base", []byte("committed"))
 	}); err != nil {
 		t.Fatal(err)
 	}
-	x := tcx.Begin(false)
+	x := tcx.Begin(context.Background(), TxnOptions{})
 	if err := x.Update("t", "base", []byte("scribble")); err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestPipelinedAbortDrainsBeforeUndo(t *testing.T) {
 	if err := x.Abort(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(y *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(y *Txn) error {
 		if v, ok, _ := y.Read("t", "base"); !ok || string(v) != "committed" {
 			return fmt.Errorf("update not rolled back: %q %v", v, ok)
 		}
@@ -159,20 +160,20 @@ func TestPipelinedVersionedBlindUpsert(t *testing.T) {
 	tcx, d := newPipelinedPair(t, 0)
 	// Versioned upserts skip the existence pre-check entirely; semantics
 	// must be unchanged, including finalize-before-unlock at commit.
-	if err := tcx.RunTxn(true, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{Versioned: true}, func(x *Txn) error {
 		return x.Upsert("t", "v", []byte("v1"))
 	}); err != nil {
 		t.Fatal(err)
 	}
 	rc := func() *base.Result {
-		return d.Perform(&base.Op{TC: 9, Kind: base.OpRead, Table: "t", Key: "v",
+		return d.Perform(context.Background(), &base.Op{TC: 9, Kind: base.OpRead, Table: "t", Key: "v",
 			Flavor: base.ReadCommitted})
 	}
 	// Commit has drained the finalize op: read-committed sees v1 at once.
 	if r := rc(); !r.Found || string(r.Value) != "v1" {
 		t.Fatalf("committed read: %+v", r)
 	}
-	x := tcx.Begin(true)
+	x := tcx.Begin(context.Background(), TxnOptions{Versioned: true})
 	if err := x.Upsert("t", "v", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestPipelinedVersionedBlindUpsert(t *testing.T) {
 		t.Fatalf("after second commit: %+v", r)
 	}
 	// Aborted blind upsert rolls back via abort-versions.
-	y := tcx.Begin(true)
+	y := tcx.Begin(context.Background(), TxnOptions{Versioned: true})
 	if err := y.Upsert("t", "v", []byte("v3")); err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestPipelinedVersionedBlindUpsert(t *testing.T) {
 
 func TestPipelinedScanSeesOwnWrites(t *testing.T) {
 	tcx, _ := newPipelinedPair(t, time.Millisecond)
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		for i := 0; i < 8; i++ {
 			if err := x.Insert("t", fmt.Sprintf("s%03d", i), []byte("v")); err != nil {
 				return err
@@ -219,13 +220,13 @@ func TestPipelinedScanSeesOwnWrites(t *testing.T) {
 
 func TestPipelinedTCCrashRecovery(t *testing.T) {
 	tcx, _ := newPipelinedPair(t, 0)
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "committed", []byte("keep"))
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// A loser with writes that may still be queued when the crash hits.
-	loser := tcx.Begin(false)
+	loser := tcx.Begin(context.Background(), TxnOptions{})
 	if err := loser.Insert("t", "loser", []byte("drop")); err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestPipelinedTCCrashRecovery(t *testing.T) {
 	if err := tcx.Recover(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		if v, ok, _ := x.Read("t", "committed"); !ok || string(v) != "keep" {
 			return fmt.Errorf("committed data wrong: %q %v", v, ok)
 		}
@@ -247,7 +248,7 @@ func TestPipelinedTCCrashRecovery(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "after", []byte("ok"))
 	}); err != nil {
 		t.Fatal(err)
@@ -257,7 +258,7 @@ func TestPipelinedTCCrashRecovery(t *testing.T) {
 func TestPipelinedDCCrashRecoveryViaResend(t *testing.T) {
 	tcx, d := newPipelinedPair(t, 0)
 	for i := 0; i < 50; i++ {
-		if err := tcx.RunTxn(false, func(x *Txn) error {
+		if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 			return x.Insert("t", fmt.Sprintf("k%03d", i), []byte("v"))
 		}); err != nil {
 			t.Fatal(err)
@@ -270,7 +271,7 @@ func TestPipelinedDCCrashRecoveryViaResend(t *testing.T) {
 	if err := tcx.RecoverDC(0); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		for i := 0; i < 50; i++ {
 			if _, ok, _ := x.Read("t", fmt.Sprintf("k%03d", i)); !ok {
 				return fmt.Errorf("key %d lost in DC crash", i)
@@ -287,7 +288,7 @@ func TestPipelinedWriteRetriesWhileDCDown(t *testing.T) {
 	// resend loop and land once the DC recovers; the committing
 	// transaction blocks at its ack barrier until then.
 	tcx, d := newPipelinedPair(t, 0)
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "pre", []byte("v"))
 	}); err != nil {
 		t.Fatal(err)
@@ -298,7 +299,7 @@ func TestPipelinedWriteRetriesWhileDCDown(t *testing.T) {
 		// Versioned: the upsert needs no pre-check read, so the write posts
 		// straight into the pipeline and the txn parks at its commit
 		// barrier rather than failing on a synchronous unavailable reply.
-		blocked <- tcx.RunTxn(true, func(x *Txn) error {
+		blocked <- tcx.RunTxn(context.Background(), TxnOptions{Versioned: true}, func(x *Txn) error {
 			return x.Upsert("t", "during", []byte("v"))
 		})
 	}()
@@ -321,7 +322,7 @@ func TestPipelinedWriteRetriesWhileDCDown(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("pipelined write never recovered after DC restart")
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		if _, ok, _ := x.Read("t", "during"); !ok {
 			return fmt.Errorf("write issued during outage lost")
 		}
@@ -338,16 +339,16 @@ type closedStubService struct {
 	closed atomic.Bool
 }
 
-func (s *closedStubService) Perform(op *base.Op) *base.Result {
+func (s *closedStubService) Perform(ctx context.Context, op *base.Op) *base.Result {
 	if s.closed.Load() {
 		return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
 	}
-	return s.Service.Perform(op)
+	return s.Service.Perform(ctx, op)
 }
 
-func (s *closedStubService) PerformBatch(ops []*base.Op) []*base.Result {
+func (s *closedStubService) PerformBatch(ctx context.Context, ops []*base.Op) []*base.Result {
 	if !s.closed.Load() {
-		return s.Service.PerformBatch(ops)
+		return s.Service.PerformBatch(ctx, ops)
 	}
 	out := make([]*base.Result, len(ops))
 	for i, op := range ops {
@@ -379,7 +380,7 @@ func TestPipelinedCommitUnblocksWhenStubClosed(t *testing.T) {
 	stub.closed.Store(true)
 	done := make(chan error, 1)
 	go func() {
-		done <- tcx.RunTxn(true, func(x *Txn) error {
+		done <- tcx.RunTxn(context.Background(), TxnOptions{Versioned: true}, func(x *Txn) error {
 			return x.Upsert("t", "k", []byte("v"))
 		})
 	}()
@@ -400,13 +401,13 @@ func TestPipelinedStaleBatchNotDeliveredAfterTCCrash(t *testing.T) {
 	// delivered — delivering would apply a write no undo covers and record
 	// a reused LSN in the DC's idempotence tables.
 	tcx, d := newPipelinedPair(t, 0)
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "committed", []byte("keep"))
 	}); err != nil {
 		t.Fatal(err)
 	}
 	d.Crash()
-	x := tcx.Begin(true)
+	x := tcx.Begin(context.Background(), TxnOptions{Versioned: true})
 	if err := x.Upsert("t", "ghost", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
@@ -419,12 +420,12 @@ func TestPipelinedStaleBatchNotDeliveredAfterTCCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	time.Sleep(100 * time.Millisecond) // let the parked batch's backoff expire
-	r := d.Perform(&base.Op{TC: 9, Kind: base.OpRead, Table: "t", Key: "ghost",
+	r := d.Perform(context.Background(), &base.Op{TC: 9, Kind: base.OpRead, Table: "t", Key: "ghost",
 		Flavor: base.ReadDirty})
 	if r.Found {
 		t.Fatal("stale pipelined batch delivered after crash+recovery")
 	}
-	if err := tcx.RunTxn(false, func(y *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(y *Txn) error {
 		if v, ok, _ := y.Read("t", "committed"); !ok || string(v) != "keep" {
 			return fmt.Errorf("committed data wrong: %q %v", v, ok)
 		}
@@ -446,7 +447,7 @@ func TestPipelinedConcurrentNoConflictInvariant(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				key := fmt.Sprintf("hot%d", i%5)
-				_ = tcx.RunTxn(false, func(x *Txn) error {
+				_ = tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 					return x.Upsert("t", key, []byte(fmt.Sprintf("g%d", g)))
 				})
 			}

@@ -1,6 +1,7 @@
 package tc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -123,7 +124,7 @@ func (t *TC) Recover() error {
 	// install the new epoch as the fence, so the dead incarnation's
 	// requests still on the wire can never execute after this point.
 	for _, h := range t.dcs {
-		if err := h.svc.BeginRestart(t.cfg.ID, newEpoch, stableEnd); err != nil {
+		if err := h.svc.BeginRestart(context.Background(), t.cfg.ID, newEpoch, stableEnd); err != nil {
 			return fmt.Errorf("tc %d: begin restart: %w", t.cfg.ID, err)
 		}
 	}
@@ -143,7 +144,7 @@ func (t *TC) Recover() error {
 		op.LSN = rec.LSN
 		op.Epoch = newEpoch // resent by (and under the fence of) this incarnation
 		h := t.dcs[t.route(op.Table, op.Key)]
-		if res := h.svc.Perform(op); res.Code != base.CodeOK &&
+		if res := h.svc.Perform(context.Background(), op); res.Code != base.CodeOK &&
 			res.Code != base.CodeDuplicate && res.Code != base.CodeNotFound {
 			return fmt.Errorf("tc %d: redo @%d failed: %v", t.cfg.ID, rec.LSN, res.Code)
 		}
@@ -177,7 +178,7 @@ func (t *TC) Recover() error {
 			rec := &wal.Record{Kind: recOp, Payload: encodeOpPayload(op, nil, false)}
 			op.Epoch = newEpoch
 			op.LSN = t.log.AppendAssign(rec)
-			t.perform(op)
+			t.perform(context.Background(), op)
 		}
 	}
 	t.log.Force()
@@ -186,7 +187,7 @@ func (t *TC) Recover() error {
 	// --- contract: restart complete, normal processing resumes — the DCs
 	// activate the staged epoch and discard the dead incarnation's leftovers.
 	for _, h := range t.dcs {
-		if err := h.svc.EndRestart(t.cfg.ID, newEpoch); err != nil {
+		if err := h.svc.EndRestart(context.Background(), t.cfg.ID, newEpoch); err != nil {
 			return fmt.Errorf("tc %d: end restart: %w", t.cfg.ID, err)
 		}
 	}
@@ -229,7 +230,7 @@ func (t *TC) RecoverDC(idx int) error {
 		}
 		op.LSN = rec.LSN
 		op.Epoch = t.Epoch()
-		if res := h.svc.Perform(op); res.Code != base.CodeOK &&
+		if res := h.svc.Perform(context.Background(), op); res.Code != base.CodeOK &&
 			res.Code != base.CodeDuplicate && res.Code != base.CodeNotFound {
 			return fmt.Errorf("tc %d: dc-redo @%d failed: %v", t.cfg.ID, rec.LSN, res.Code)
 		}

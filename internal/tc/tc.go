@@ -18,6 +18,7 @@
 package tc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -121,33 +122,43 @@ type Stats struct {
 
 // dcHandle wraps one DC connection with the recovery gate: while the DC is
 // being redone after its crash, new operations hold off (in-flight resends
-// of old operations are harmless — they are part of the redo stream).
+// of old operations are harmless — they are part of the redo stream). The
+// gate is a channel so waiters can also honor context cancellation.
 type dcHandle struct {
 	svc        base.Service
 	mu         sync.Mutex
-	cond       *sync.Cond
 	recovering bool
+	ready      chan struct{} // closed whenever not recovering
 }
 
 func newDCHandle(svc base.Service) *dcHandle {
-	h := &dcHandle{svc: svc}
-	h.cond = sync.NewCond(&h.mu)
-	return h
+	ready := make(chan struct{})
+	close(ready)
+	return &dcHandle{svc: svc, ready: ready}
 }
 
-func (h *dcHandle) waitReady() {
+// waitReady blocks until the DC is out of recovery or ctx is done.
+func (h *dcHandle) waitReady(ctx context.Context) error {
 	h.mu.Lock()
-	for h.recovering {
-		h.cond.Wait()
-	}
+	ch := h.ready
 	h.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return base.CancelErr(ctx)
+	}
 }
 
 func (h *dcHandle) setRecovering(v bool) {
 	h.mu.Lock()
-	h.recovering = v
-	if !v {
-		h.cond.Broadcast()
+	if v != h.recovering {
+		h.recovering = v
+		if v {
+			h.ready = make(chan struct{})
+		} else {
+			close(h.ready)
+		}
 	}
 	h.mu.Unlock()
 }
@@ -273,6 +284,15 @@ func (t *TC) RSSP() base.LSN {
 	return t.rssp
 }
 
+// ActiveTxns returns the number of transactions currently executing at
+// this TC; the deployment client uses it as the least-inflight routing
+// signal.
+func (t *TC) ActiveTxns() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.txns)
+}
+
 // Partition returns the static range partition for table, creating a
 // uniform one on first use.
 func (t *TC) Partition(table string) lockmgr.Partition {
@@ -354,14 +374,23 @@ func (t *TC) isDown() bool {
 // stamped here; logged writes stamp before their LSN is assigned. A
 // CodeStaleEpoch reply means the op never executed, so its LSN must not
 // complete either.
-func (t *TC) perform(op *base.Op) *base.Result {
+//
+// Cancellation: only read-flavored operations ever arrive with a
+// cancellable ctx — logged writes ship under context.WithoutCancel because
+// their delivery contract must run to completion. An abandoned read still
+// completes its LSN: reads mutate nothing and are never reflected in
+// cached pages, so the low-water mark may pass them, and not completing
+// would leave a permanent gap that stalls checkpoints.
+func (t *TC) perform(ctx context.Context, op *base.Op) *base.Result {
 	if op.Epoch == 0 {
 		op.Epoch = t.Epoch()
 	}
 	h := t.dcs[t.route(op.Table, op.Key)]
-	h.waitReady()
-	t.opsSent.Add(1)
-	res := h.svc.Perform(op)
+	res := &base.Result{LSN: op.LSN, Code: base.CodeCancelled}
+	if err := h.waitReady(ctx); err == nil {
+		t.opsSent.Add(1)
+		res = h.svc.Perform(ctx, op)
+	}
 	if op.Epoch == t.Epoch() && res.Code != base.CodeStaleEpoch {
 		t.acks.Complete(op.LSN)
 	}
@@ -371,10 +400,10 @@ func (t *TC) perform(op *base.Op) *base.Result {
 // Checkpoint advances the redo scan start point (§4.2.1 checkpoint,
 // "contract termination"): force the log, ask every DC to make stable all
 // pages containing operations below the proposed point, then advance and
-// truncate. Returns the new RSSP.
-func (t *TC) Checkpoint() (base.LSN, error) {
+// truncate. Returns the new RSSP. ctx bounds the per-DC control calls.
+func (t *TC) Checkpoint(ctx context.Context) (base.LSN, error) {
 	if t.isDown() {
-		return 0, errors.New("tc: down")
+		return 0, fmt.Errorf("tc: down: %w", base.ErrUnavailable)
 	}
 	// Everything acknowledged so far is a candidate.
 	newRSSP := t.acks.LWM() + 1
@@ -390,7 +419,7 @@ func (t *TC) Checkpoint() (base.LSN, error) {
 	t.log.Force()
 	t.broadcastWatermarks()
 	for _, h := range t.dcs {
-		if err := h.svc.Checkpoint(t.cfg.ID, t.Epoch(), newRSSP); err != nil {
+		if err := h.svc.Checkpoint(ctx, t.cfg.ID, t.Epoch(), newRSSP); err != nil {
 			return 0, fmt.Errorf("tc %d: checkpoint: %w", t.cfg.ID, err)
 		}
 	}

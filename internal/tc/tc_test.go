@@ -1,6 +1,7 @@
 package tc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -38,7 +39,7 @@ func newPair(t *testing.T, cfg Config) (*TC, *dc.DC) {
 
 func TestCommitAndReadBack(t *testing.T) {
 	tcx, _ := newPair(t, Config{})
-	x := tcx.Begin(false)
+	x := tcx.Begin(context.Background(), TxnOptions{})
 	if err := x.Insert("t", "a", []byte("1")); err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestCommitAndReadBack(t *testing.T) {
 	if err := x.Commit(); !errors.Is(err, ErrTxnDone) {
 		t.Fatalf("double commit: %v", err)
 	}
-	y := tcx.Begin(false)
+	y := tcx.Begin(context.Background(), TxnOptions{})
 	defer y.Abort()
 	if v, ok, _ := y.Read("t", "a"); !ok || string(v) != "1" {
 		t.Fatalf("next txn read: %q %v", v, ok)
@@ -63,7 +64,7 @@ func TestWriteSemantics(t *testing.T) {
 	tcx, _ := newPair(t, Config{})
 	// Duplicate inserts and missing updates are detected before logging:
 	// they surface as recoverable errors and do not poison the txn.
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		if err := x.Insert("t", "k", []byte("v1")); err != nil {
 			return err
 		}
@@ -77,7 +78,7 @@ func TestWriteSemantics(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		if v, ok, _ := x.Read("t", "k"); !ok || string(v) != "v1" {
 			return fmt.Errorf("first insert lost: %q %v", v, ok)
 		}
@@ -85,12 +86,12 @@ func TestWriteSemantics(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Upsert("t", "k", []byte("v3"))
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		v, ok, err := x.Read("t", "k")
 		if err != nil || !ok || string(v) != "v3" {
 			return fmt.Errorf("read: %q %v %v", v, ok, err)
@@ -99,7 +100,7 @@ func TestWriteSemantics(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		if _, ok, _ := x.Read("t", "k"); ok {
 			return fmt.Errorf("key survived delete")
 		}
@@ -111,12 +112,12 @@ func TestWriteSemantics(t *testing.T) {
 
 func TestAbortRollsBack(t *testing.T) {
 	tcx, _ := newPair(t, Config{})
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "base", []byte("committed"))
 	}); err != nil {
 		t.Fatal(err)
 	}
-	x := tcx.Begin(false)
+	x := tcx.Begin(context.Background(), TxnOptions{})
 	if err := x.Update("t", "base", []byte("scribble")); err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestAbortRollsBack(t *testing.T) {
 	if err := x.Abort(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(y *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(y *Txn) error {
 		if v, ok, _ := y.Read("t", "base"); !ok || string(v) != "committed" {
 			return fmt.Errorf("update not rolled back: %q %v", v, ok)
 		}
@@ -145,7 +146,7 @@ func TestAbortRollsBack(t *testing.T) {
 func TestDeadlockRetry(t *testing.T) {
 	tcx, _ := newPair(t, Config{})
 	for _, k := range []string{"a", "b"} {
-		if err := tcx.RunTxn(false, func(x *Txn) error {
+		if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 			return x.Insert("t", k, []byte("0"))
 		}); err != nil {
 			t.Fatal(err)
@@ -160,7 +161,7 @@ func TestDeadlockRetry(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			errs[i] = tcx.RunTxn(false, func(x *Txn) error {
+			errs[i] = tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 				if err := x.Update("t", order[i][0], []byte("x")); err != nil {
 					return err
 				}
@@ -181,21 +182,21 @@ func TestDeadlockRetry(t *testing.T) {
 
 func TestVersionedCommitAndAbort(t *testing.T) {
 	tcx, d := newPair(t, Config{})
-	if err := tcx.RunTxn(true, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{Versioned: true}, func(x *Txn) error {
 		return x.Insert("t", "v", []byte("v1"))
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// Committed: read-committed observers (e.g. another TC) see v1.
 	rc := func() *base.Result {
-		return d.Perform(&base.Op{TC: 9, Kind: base.OpRead, Table: "t", Key: "v",
+		return d.Perform(context.Background(), &base.Op{TC: 9, Kind: base.OpRead, Table: "t", Key: "v",
 			Flavor: base.ReadCommitted})
 	}
 	if r := rc(); !r.Found || string(r.Value) != "v1" {
 		t.Fatalf("committed read: %+v", r)
 	}
 	// In-flight update: observers still see v1 until commit.
-	x := tcx.Begin(true)
+	x := tcx.Begin(context.Background(), TxnOptions{Versioned: true})
 	if err := x.Update("t", "v", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestVersionedCommitAndAbort(t *testing.T) {
 		t.Fatalf("after commit: %+v", r)
 	}
 	// Aborted versioned update disappears entirely.
-	y := tcx.Begin(true)
+	y := tcx.Begin(context.Background(), TxnOptions{Versioned: true})
 	if err := y.Update("t", "v", []byte("v3")); err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestScanBothProtocols(t *testing.T) {
 	for _, proto := range []RangeProtocol{FetchAhead, StaticRange} {
 		t.Run(proto.String(), func(t *testing.T) {
 			tcx, _ := newPair(t, Config{Protocol: proto})
-			if err := tcx.RunTxn(false, func(x *Txn) error {
+			if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 				for i := 0; i < 30; i++ {
 					if err := x.Insert("t", fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
 						return err
@@ -233,7 +234,7 @@ func TestScanBothProtocols(t *testing.T) {
 			}); err != nil {
 				t.Fatal(err)
 			}
-			if err := tcx.RunTxn(false, func(x *Txn) error {
+			if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 				keys, vals, err := x.Scan("t", "k010", "k020", 0)
 				if err != nil {
 					return err
@@ -256,7 +257,7 @@ func TestScanBlocksConflictingWriter(t *testing.T) {
 	for _, proto := range []RangeProtocol{FetchAhead, StaticRange} {
 		t.Run(proto.String(), func(t *testing.T) {
 			tcx, _ := newPair(t, Config{Protocol: proto})
-			if err := tcx.RunTxn(false, func(x *Txn) error {
+			if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 				for i := 0; i < 10; i++ {
 					if err := x.Insert("t", fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
 						return err
@@ -266,7 +267,7 @@ func TestScanBlocksConflictingWriter(t *testing.T) {
 			}); err != nil {
 				t.Fatal(err)
 			}
-			x := tcx.Begin(false)
+			x := tcx.Begin(context.Background(), TxnOptions{})
 			keys, _, err := x.Scan("t", "k000", "k009", 0)
 			if err != nil {
 				t.Fatal(err)
@@ -277,7 +278,7 @@ func TestScanBlocksConflictingWriter(t *testing.T) {
 			// A writer to a scanned key must block until the scan txn ends.
 			done := make(chan error, 1)
 			go func() {
-				done <- tcx.RunTxn(false, func(y *Txn) error {
+				done <- tcx.RunTxn(context.Background(), TxnOptions{}, func(y *Txn) error {
 					return y.Update("t", "k005", []byte("w"))
 				})
 			}()
@@ -297,13 +298,13 @@ func TestScanBlocksConflictingWriter(t *testing.T) {
 func TestTCCrashRecovery(t *testing.T) {
 	tcx, d := newPair(t, Config{})
 	// Committed work (forced).
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "committed", []byte("keep"))
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// A loser: applied at the DC but never committed; log tail unforced.
-	loser := tcx.Begin(false)
+	loser := tcx.Begin(context.Background(), TxnOptions{})
 	if err := loser.Insert("t", "loser", []byte("drop")); err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestTCCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	// DC currently reflects the loser's writes.
-	if r := d.Perform(&base.Op{TC: 9, Kind: base.OpRead, Table: "t", Key: "loser", Flavor: base.ReadDirty}); !r.Found {
+	if r := d.Perform(context.Background(), &base.Op{TC: 9, Kind: base.OpRead, Table: "t", Key: "loser", Flavor: base.ReadDirty}); !r.Found {
 		t.Fatalf("precondition: %+v", r)
 	}
 
@@ -321,7 +322,7 @@ func TestTCCrashRecovery(t *testing.T) {
 	}
 	// Committed data intact, loser gone (either via DC reset of unforced
 	// ops or logical undo of forced-but-uncommitted ones).
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		if v, ok, _ := x.Read("t", "committed"); !ok || string(v) != "keep" {
 			return fmt.Errorf("committed data wrong: %q %v", v, ok)
 		}
@@ -333,7 +334,7 @@ func TestTCCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The TC is fully usable after restart.
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "after", []byte("ok"))
 	}); err != nil {
 		t.Fatal(err)
@@ -344,7 +345,7 @@ func TestTCCrashMidUndoUsesCLRs(t *testing.T) {
 	tcx, _ := newPair(t, Config{})
 	// Forced loser: ops stable, commit record absent -> restart must undo
 	// via inverse operations (the §4.1.1(2b) path, not the cache reset).
-	x := tcx.Begin(false)
+	x := tcx.Begin(context.Background(), TxnOptions{})
 	if err := x.Insert("t", "a", []byte("1")); err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestTCCrashMidUndoUsesCLRs(t *testing.T) {
 	if err := tcx.Recover(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(y *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(y *Txn) error {
 		if _, ok, _ := y.Read("t", "a"); ok {
 			return fmt.Errorf("loser op a survived")
 		}
@@ -376,7 +377,7 @@ func TestTCCrashMidUndoUsesCLRs(t *testing.T) {
 	if err := tcx.Recover(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(y *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(y *Txn) error {
 		if _, ok, _ := y.Read("t", "a"); ok {
 			return fmt.Errorf("a resurrected after double recovery")
 		}
@@ -389,7 +390,7 @@ func TestTCCrashMidUndoUsesCLRs(t *testing.T) {
 func TestDCCrashRecoveryViaResend(t *testing.T) {
 	tcx, d := newPair(t, Config{})
 	for i := 0; i < 50; i++ {
-		if err := tcx.RunTxn(false, func(x *Txn) error {
+		if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 			return x.Insert("t", fmt.Sprintf("k%03d", i), []byte("v"))
 		}); err != nil {
 			t.Fatal(err)
@@ -402,7 +403,7 @@ func TestDCCrashRecoveryViaResend(t *testing.T) {
 	if err := tcx.RecoverDC(0); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		for i := 0; i < 50; i++ {
 			if _, ok, _ := x.Read("t", fmt.Sprintf("k%03d", i)); !ok {
 				return fmt.Errorf("key %d lost in DC crash", i)
@@ -420,13 +421,13 @@ func TestDCCrashRecoveryViaResend(t *testing.T) {
 func TestCheckpointAdvancesAndBoundsRedo(t *testing.T) {
 	tcx, d := newPair(t, Config{})
 	for i := 0; i < 40; i++ {
-		if err := tcx.RunTxn(false, func(x *Txn) error {
+		if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 			return x.Insert("t", fmt.Sprintf("k%03d", i), []byte("v"))
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	rssp, err := tcx.Checkpoint()
+	rssp, err := tcx.Checkpoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -449,7 +450,7 @@ func TestCheckpointAdvancesAndBoundsRedo(t *testing.T) {
 		t.Fatalf("redo after full checkpoint should be empty, resent %d", got)
 	}
 	// Data nevertheless intact (checkpoint made it stable at the DC).
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		for i := 0; i < 40; i++ {
 			if _, ok, _ := x.Read("t", fmt.Sprintf("k%03d", i)); !ok {
 				return fmt.Errorf("key %d lost", i)
@@ -467,7 +468,7 @@ func TestCheckpointAdvancesPastLocalRecords(t *testing.T) {
 	// abort (or checkpoint) freezes the low-water mark and the RSSP can
 	// never advance again.
 	tcx, _ := newPair(t, Config{})
-	x := tcx.Begin(false)
+	x := tcx.Begin(context.Background(), TxnOptions{})
 	if err := x.Insert("t", "doomed", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
@@ -475,13 +476,13 @@ func TestCheckpointAdvancesPastLocalRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := tcx.RunTxn(false, func(x *Txn) error {
+		if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 			return x.Insert("t", fmt.Sprintf("k%d", i), []byte("v"))
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	r1, err := tcx.Checkpoint()
+	r1, err := tcx.Checkpoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -489,12 +490,12 @@ func TestCheckpointAdvancesPastLocalRecords(t *testing.T) {
 		t.Fatalf("rssp stuck at %d after abort", r1)
 	}
 	// A second round: the checkpoint record itself must not pin the LWM.
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "more", []byte("v"))
 	}); err != nil {
 		t.Fatal(err)
 	}
-	r2, err := tcx.Checkpoint()
+	r2, err := tcx.Checkpoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -505,12 +506,12 @@ func TestCheckpointAdvancesPastLocalRecords(t *testing.T) {
 
 func TestBothCrash(t *testing.T) {
 	tcx, d := newPair(t, Config{})
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		return x.Insert("t", "survivor", []byte("v"))
 	}); err != nil {
 		t.Fatal(err)
 	}
-	loser := tcx.Begin(false)
+	loser := tcx.Begin(context.Background(), TxnOptions{})
 	loser.Insert("t", "ghost", []byte("x"))
 
 	// Complete failure of both components (§5.3.2: "returns us to the
@@ -523,7 +524,7 @@ func TestBothCrash(t *testing.T) {
 	if err := tcx.Recover(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tcx.RunTxn(false, func(x *Txn) error {
+	if err := tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 		if _, ok, _ := x.Read("t", "survivor"); !ok {
 			return fmt.Errorf("committed data lost")
 		}
@@ -547,7 +548,7 @@ func TestNoConflictInvariantHolds(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				key := fmt.Sprintf("hot%d", i%5)
-				_ = tcx.RunTxn(false, func(x *Txn) error {
+				_ = tcx.RunTxn(context.Background(), TxnOptions{}, func(x *Txn) error {
 					return x.Upsert("t", key, []byte(fmt.Sprintf("g%d", g)))
 				})
 			}

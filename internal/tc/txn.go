@@ -1,8 +1,10 @@
 package tc
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/cidr09/unbundled/internal/base"
 	"github.com/cidr09/unbundled/internal/lockmgr"
@@ -22,6 +24,35 @@ var (
 	ErrScanUnstable = errors.New("tc: fetch-ahead scan did not stabilize")
 )
 
+// TxnOptions shapes one transaction. The zero value is a plain
+// (unversioned, read-write) transaction using the TC's configured lock
+// timeout.
+type TxnOptions struct {
+	// Versioned makes writes keep before versions (§6.2.2), enabling
+	// cross-TC read-committed readers and cheap undo.
+	Versioned bool
+	// ReadOnly refuses every mutation with base.ErrReadOnly. Reads and
+	// scans behave normally (including the locking flavors).
+	ReadOnly bool
+	// LockTimeout overrides the TC's configured lock-wait bound for this
+	// transaction: positive bounds each wait, negative waits forever, zero
+	// keeps the TC default.
+	LockTimeout time.Duration
+}
+
+// lockWait resolves the per-transaction lock-wait bound against the TC
+// default (0 means wait forever at the lock manager).
+func (o TxnOptions) lockWait(def time.Duration) time.Duration {
+	switch {
+	case o.LockTimeout > 0:
+		return o.LockTimeout
+	case o.LockTimeout < 0:
+		return 0
+	default:
+		return def
+	}
+}
+
 type txnState uint8
 
 const (
@@ -38,11 +69,19 @@ type cachedVal struct {
 }
 
 // Txn is one user transaction executing at this TC. A transaction is used
-// from a single goroutine (many transactions run concurrently).
+// from a single goroutine (many transactions run concurrently). It carries
+// the context it was begun with: every lock wait and read honors that
+// context's cancellation and deadline, while the delivery of logged writes
+// deliberately does not (see write).
 type Txn struct {
-	tc    *TC
-	id    base.TxnID
-	state txnState
+	tc  *TC
+	ctx context.Context
+	// sendCtx is ctx stripped of cancellation: the delivery context for
+	// logged operations, whose resend contract must outlive any cancel.
+	sendCtx context.Context
+	opts    TxnOptions
+	id      base.TxnID
+	state   txnState
 	// firstLSN/lastLSN delimit the undo chain in the TC-log.
 	firstLSN, lastLSN base.LSN
 	// cache holds values read or written under locks this transaction
@@ -53,9 +92,6 @@ type Txn struct {
 	// versioned tracks keys written with versioning; commit/abort send
 	// the §6.2.2 finalize operations for them.
 	versioned map[tableKey]struct{}
-	// useVersions makes writes create before versions (§6.2.2), enabling
-	// cross-TC read-committed readers and cheap undo.
-	useVersions bool
 	// pend is the barrier over this transaction's pipelined operations:
 	// writes posted into the per-DC pipelines complete here, and Commit/
 	// Abort (and scans, for read-your-writes) wait on it before relying on
@@ -63,16 +99,18 @@ type Txn struct {
 	pend pending
 }
 
-// Begin starts a transaction. With versioned=true, writes keep before
-// versions so other TCs can do read-committed reads of this TC's partition
-// (§6.2.2).
-func (t *TC) Begin(versioned bool) *Txn {
+// Begin starts a transaction shaped by opts, bound to ctx. A nil ctx is
+// treated as context.Background().
+func (t *TC) Begin(ctx context.Context, opts TxnOptions) *Txn {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	t.mu.Lock()
 	t.nextTxn++
 	id := base.TxnID(t.nextTxn)
-	x := &Txn{tc: t, id: id, cache: make(map[tableKey]cachedVal), useVersions: versioned}
-	x.pend.init()
-	if versioned {
+	x := &Txn{tc: t, ctx: ctx, sendCtx: context.WithoutCancel(ctx), opts: opts,
+		id: id, cache: make(map[tableKey]cachedVal)}
+	if opts.Versioned {
 		x.versioned = make(map[tableKey]struct{})
 	}
 	t.txns[id] = x
@@ -80,24 +118,32 @@ func (t *TC) Begin(versioned bool) *Txn {
 	return x
 }
 
-// RunTxn runs fn inside a transaction, committing on success and
-// retrying (with a fresh transaction) on deadlock or lock-timeout aborts.
-func (t *TC) RunTxn(versioned bool, fn func(*Txn) error) error {
+// RunTxnOnce runs fn inside a single transaction attempt: commit on
+// success, abort on failure, no retry. Callers owning their own retry
+// policy (the deployment client) build on this.
+func (t *TC) RunTxnOnce(ctx context.Context, opts TxnOptions, fn func(*Txn) error) error {
+	x := t.Begin(ctx, opts)
+	if err := fn(x); err != nil {
+		_ = x.Abort()
+		return err
+	}
+	return x.Commit()
+}
+
+// RunTxn runs fn inside a transaction, committing on success and retrying
+// immediately (with a fresh transaction) on deadlock or lock-timeout
+// aborts, up to a bounded number of attempts. The deployment-level client
+// adds routing and backoff on top of RunTxnOnce instead.
+func (t *TC) RunTxn(ctx context.Context, opts TxnOptions, fn func(*Txn) error) error {
 	var err error
 	for attempt := 0; attempt < 8; attempt++ {
-		x := t.Begin(versioned)
-		err = fn(x)
+		err = t.RunTxnOnce(ctx, opts, fn)
 		if err == nil {
-			if err = x.Commit(); err == nil {
-				return nil
-			}
-		} else {
-			_ = x.Abort()
+			return nil
 		}
-		if !errors.Is(err, lockmgr.ErrDeadlock) && !errors.Is(err, lockmgr.ErrTimeout) {
+		if !errors.Is(err, base.ErrDeadlock) && !errors.Is(err, base.ErrLockTimeout) {
 			return err
 		}
-		t.deadlocks.Add(1)
 	}
 	return err
 }
@@ -105,9 +151,14 @@ func (t *TC) RunTxn(versioned bool, fn func(*Txn) error) error {
 // ID returns the transaction identifier.
 func (x *Txn) ID() base.TxnID { return x.id }
 
+// Context returns the context the transaction was begun with.
+func (x *Txn) Context() context.Context { return x.ctx }
+
 // lockFor acquires the transactional lock guarding a single-key access.
 // Under the static-range protocol the bucket is locked instead of the key
-// (§3.1: fewer locks, less concurrency).
+// (§3.1: fewer locks, less concurrency). The wait honors the transaction's
+// context and per-transaction lock timeout; any failure aborts the
+// transaction (locks may not be left half-acquired).
 func (x *Txn) lockFor(table, key string, mode lockmgr.Mode) error {
 	var res lockmgr.Resource
 	if x.tc.cfg.Protocol == StaticRange {
@@ -115,8 +166,15 @@ func (x *Txn) lockFor(table, key string, mode lockmgr.Mode) error {
 	} else {
 		res = lockmgr.KeyRes(table, key)
 	}
-	err := x.tc.locks.Lock(x.id, res, mode)
+	return x.lock(res, mode)
+}
+
+func (x *Txn) lock(res lockmgr.Resource, mode lockmgr.Mode) error {
+	err := x.tc.locks.LockWait(x.ctx, x.id, res, mode, x.opts.lockWait(x.tc.cfg.LockTimeout))
 	if err != nil {
+		if errors.Is(err, base.ErrDeadlock) {
+			x.tc.deadlocks.Add(1)
+		}
 		_ = x.Abort()
 	}
 	return err
@@ -140,7 +198,7 @@ func (x *Txn) Read(table, key string) ([]byte, bool, error) {
 // readOp issues the read operation (allocating a request ID) and caches.
 func (x *Txn) readOp(table, key string, flavor base.ReadFlavor, cache bool) ([]byte, bool, error) {
 	lsn := x.tc.log.AllocLSN()
-	res := x.tc.perform(&base.Op{TC: x.tc.cfg.ID, LSN: lsn, Kind: base.OpRead,
+	res := x.tc.perform(x.ctx, &base.Op{TC: x.tc.cfg.ID, LSN: lsn, Kind: base.OpRead,
 		Table: table, Key: key, Flavor: flavor})
 	switch res.Code {
 	case base.CodeOK:
@@ -153,6 +211,8 @@ func (x *Txn) readOp(table, key string, flavor base.ReadFlavor, cache bool) ([]b
 			x.cache[tableKey{table, key}] = cachedVal{found: false}
 		}
 		return nil, false, nil
+	case base.CodeCancelled:
+		return nil, false, fmt.Errorf("tc: read %s/%s: %w", table, key, base.CancelErr(x.ctx))
 	default:
 		return nil, false, fmt.Errorf("tc: read %s/%s: %w", table, key, res.Code.Err())
 	}
@@ -187,11 +247,12 @@ func (x *Txn) ReadDirty(table, key string) ([]byte, bool, error) {
 // that must observe them at the DC (scans and unlocked reads bypass the
 // transaction cache, so read-your-writes needs the queue empty). Point
 // reads never need it: every pipelined write is recorded in the cache.
+// The wait honors the transaction's context.
 func (x *Txn) drain() error {
 	if !x.tc.pipelined() {
 		return nil
 	}
-	return x.pend.wait()
+	return x.pend.wait(x.ctx)
 }
 
 // valueOf returns the current value under an already-held X lock, going to
@@ -228,9 +289,17 @@ func (x *Txn) Delete(table, key string) error {
 // the operation itself — shipped synchronously, or posted into the per-DC
 // pipeline when cfg.Pipeline is on (the pre-check + X-lock invariant
 // guarantees the outcome, so nothing needs the reply before commit).
+//
+// Cancellation points are the lock wait and the pre-check read. Once the
+// op record is appended, delivery is no longer cancellable: the resend/
+// redo contract must run to completion, or an abandoned forward operation
+// could be overtaken by its own inverse on a reordering network.
 func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
 	if x.state != txnActive {
 		return ErrTxnDone
+	}
+	if x.opts.ReadOnly {
+		return fmt.Errorf("tc: %s %s/%s: %w", kind, table, key, base.ErrReadOnly)
 	}
 	if err := x.lockFor(table, key, lockmgr.X); err != nil {
 		return err
@@ -262,7 +331,7 @@ func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
 		// version, the inverse is abort-versions (no prior needed), and
 		// upsert semantics do not depend on prior existence. This saves
 		// the read round trip that would otherwise gate the pipeline.
-		if !x.useVersions {
+		if !x.opts.Versioned {
 			p, found, err := x.valueOf(table, key)
 			if err != nil {
 				return err
@@ -271,7 +340,7 @@ func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
 		}
 	}
 	op := &base.Op{TC: x.tc.cfg.ID, Kind: kind, Table: table, Key: key,
-		Value: val, Versioned: x.useVersions}
+		Value: val, Versioned: x.opts.Versioned}
 	rec := &wal.Record{Kind: recOp, Txn: x.id, Prev: x.lastLSN,
 		Payload: encodeOpPayload(op, prior, priorFound)}
 	op.Epoch = x.tc.Epoch() // before the LSN assignment; see postOp
@@ -280,7 +349,7 @@ func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
 	if x.tc.pipelined() {
 		x.tc.postOp(x, op)
 	} else {
-		res := x.tc.perform(op)
+		res := x.tc.perform(x.sendCtx, op)
 		if res.Code != base.CodeOK {
 			// Cannot happen given the pre-checks (the lock freezes the key);
 			// surface loudly if the invariant is ever broken.
@@ -297,11 +366,19 @@ func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
 	} else {
 		x.cache[tk] = cachedVal{val: val, found: true}
 	}
-	if x.useVersions {
+	if x.opts.Versioned {
 		x.versioned[tk] = struct{}{}
 	}
 	return nil
 }
+
+// ErrCommitAmbiguous marks a Commit that failed after the commit record
+// was appended: the transaction's outcome is decided by the log (a winner
+// if the record reaches stability, lost otherwise), not by this error.
+// Callers must NOT re-execute the transaction on it — re-running could
+// apply its effects twice — even when the underlying failure (a closed
+// component, a cancelled wait) would otherwise classify as transient.
+var ErrCommitAmbiguous = errors.New("tc: commit outcome decided by the log, not by this error")
 
 // Commit makes the transaction durable: append and force the commit
 // record (group commit), finalize versioned writes (§6.2.2 — removing the
@@ -316,6 +393,15 @@ func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
 // underneath a committing transaction) is reported, but the commit record
 // is already durable: restart treats the transaction as a winner and
 // re-delivers its logged operations.
+//
+// Cancellation abandons the waits, never the protocol: Commit returns
+// promptly with an error wrapping ErrCommitAmbiguous and base.ErrCancelled
+// (the commit record is already appended, so the outcome is whatever the
+// log decides), but the transaction's locks are NOT released early — a
+// detached finisher holds them until every shipped operation is
+// acknowledged and the commit record is stable, preserving strict 2PL: no
+// other transaction can observe a not-yet-applied write or a
+// not-yet-durable commit.
 func (x *Txn) Commit() error {
 	if x.state != txnActive {
 		return ErrTxnDone
@@ -329,21 +415,58 @@ func (x *Txn) Commit() error {
 		Payload: encodeCommit(vkeys)}
 	cLSN := t.log.AppendAssign(rec)
 	t.acks.Complete(cLSN) // local record: no DC round trip
-	var barrierErr error
-	if t.pipelined() {
-		forced := make(chan struct{})
+	// The force runs in a goroutine when it must overlap the ack barrier
+	// (pipelined) or be abandonable (cancellable ctx); forced is nil when
+	// it already completed inline.
+	var forced chan struct{}
+	if t.pipelined() || x.ctx.Done() != nil {
+		forced = make(chan struct{})
 		go func() {
 			t.log.ForceTo(cLSN)
 			close(forced)
 		}()
-		barrierErr = x.pend.wait()
-		<-forced
 	} else {
 		t.log.ForceTo(cLSN)
+	}
+	var barrierErr error
+	if t.pipelined() {
+		barrierErr = x.pend.wait(x.ctx)
+	}
+	if forced != nil && barrierErr == nil {
+		select {
+		case <-forced:
+		case <-x.ctx.Done():
+			barrierErr = base.CancelErr(x.ctx)
+		}
 	}
 	// Push the new stable boundary to the DCs promptly: cached pages with
 	// this transaction's operations become flushable (causality).
 	t.broadcastWatermarks()
+	// detach hands the rest of the commit protocol to a background
+	// finisher so a cancelled caller returns promptly: drain outstanding
+	// acks, send any finalize operations not yet issued (their delivery
+	// can block arbitrarily on a down DC — the commit record already
+	// carries the versioned write set, so restart re-finalizes winners
+	// regardless), wait out the force, then release the locks.
+	detach := func(finalize bool) error {
+		go func() {
+			_ = x.pend.wait(context.Background())
+			if finalize {
+				for _, tk := range vkeys {
+					x.finalizeOp(base.OpCommitVersions, tk)
+				}
+				_ = x.pend.wait(context.Background())
+			}
+			<-forced
+			x.finish()
+		}()
+		return fmt.Errorf("tc: commit barrier for txn %d: %w: %w", x.id, ErrCommitAmbiguous, barrierErr)
+	}
+	x.state = txnCommitted
+	t.commits.Add(1)
+	if errors.Is(barrierErr, base.ErrCancelled) {
+		return detach(true)
+	}
 	// §6.2.2: "When an updating TC commits the transaction, it sends
 	// updates to the DC to eliminate the before versions." These are
 	// logged so restart re-delivers them for winners. Pipelined, they ride
@@ -352,21 +475,35 @@ func (x *Txn) Commit() error {
 	for _, tk := range vkeys {
 		x.finalizeOp(base.OpCommitVersions, tk)
 	}
-	if t.pipelined() {
-		if err := x.pend.wait(); err != nil && barrierErr == nil {
-			barrierErr = err
+	if t.pipelined() && barrierErr == nil {
+		barrierErr = x.pend.wait(x.ctx)
+		if errors.Is(barrierErr, base.ErrCancelled) {
+			return detach(false)
 		}
 	}
-	x.state = txnCommitted
+	if barrierErr != nil {
+		// Non-cancel failures only surface with the barrier fully drained
+		// (pend.wait returns sticky errors at zero outstanding), so locks
+		// can release now; still see the force through, as before.
+		if forced != nil {
+			<-forced
+		}
+		x.finish()
+		return fmt.Errorf("tc: commit barrier for txn %d: %w: %w", x.id, ErrCommitAmbiguous, barrierErr)
+	}
+	x.finish()
+	return nil
+}
+
+// finish releases the transaction's locks and drops it from the table:
+// the 2PL release point. Runs exactly once per transaction — inline on
+// the normal paths, from the detached finisher on a cancelled commit.
+func (x *Txn) finish() {
+	t := x.tc
 	t.locks.ReleaseAll(x.id)
 	t.mu.Lock()
 	delete(t.txns, x.id)
 	t.mu.Unlock()
-	t.commits.Add(1)
-	if barrierErr != nil {
-		return fmt.Errorf("tc: commit barrier for txn %d: %w", x.id, barrierErr)
-	}
-	return nil
 }
 
 func (x *Txn) finalizeOp(kind base.OpKind, tk tableKey) {
@@ -379,7 +516,8 @@ func (x *Txn) finalizeOp(kind base.OpKind, tk tableKey) {
 	if t.pipelined() {
 		t.postOp(x, op)
 	} else {
-		t.perform(op)
+		// Logged: delivery must complete regardless of cancellation.
+		t.perform(x.sendCtx, op)
 	}
 }
 
@@ -387,7 +525,9 @@ func (x *Txn) finalizeOp(kind base.OpKind, tk tableKey) {
 // chronological order, sending inverse logical operations (logged as
 // compensation records so restart never undoes twice), then release locks
 // (§4.1.1(2b)). Outstanding pipelined writes are drained first so an
-// inverse can never overtake the forward operation it undoes.
+// inverse can never overtake the forward operation it undoes. Abort does
+// not honor cancellation: the rollback protocol must complete before the
+// locks can be released (a cancelled transaction still aborts cleanly).
 func (x *Txn) Abort() error {
 	if x.state != txnActive {
 		if x.state == txnAborted {
@@ -396,15 +536,12 @@ func (x *Txn) Abort() error {
 		return ErrTxnDone
 	}
 	t := x.tc
-	_ = x.pend.wait() // barrier failures still leave the log authoritative
+	_ = x.pend.wait(context.Background()) // barrier failures still leave the log authoritative
 	t.undoChain(x.id, x.lastLSN)
 	aLSN := t.log.AppendAssign(&wal.Record{Kind: recAbort, Txn: x.id, Prev: x.lastLSN})
 	t.acks.Complete(aLSN) // local record: no DC round trip
 	x.state = txnAborted
-	t.locks.ReleaseAll(x.id)
-	t.mu.Lock()
-	delete(t.txns, x.id)
-	t.mu.Unlock()
+	x.finish()
 	t.aborts.Add(1)
 	return nil
 }
@@ -430,7 +567,7 @@ func (t *TC) undoChain(txn base.TxnID, lastLSN base.LSN) {
 					NextUndo: rec.Prev, Payload: encodeOpPayload(inv, nil, false)}
 				inv.Epoch = t.Epoch() // before the LSN assignment; see postOp
 				inv.LSN = t.log.AppendAssign(clr)
-				t.perform(inv)
+				t.perform(context.Background(), inv)
 				t.undoOps.Add(1)
 			}
 			cur = rec.Prev
@@ -481,13 +618,12 @@ func (x *Txn) Scan(table, lo, hi string, limit int) (keys []string, vals [][]byt
 	}
 	if x.tc.cfg.Protocol == StaticRange {
 		for _, b := range x.tc.Partition(table).Overlapping(lo, hi) {
-			if err := x.tc.locks.Lock(x.id, lockmgr.RangeRes(table, b), lockmgr.S); err != nil {
-				_ = x.Abort()
+			if err := x.lock(lockmgr.RangeRes(table, b), lockmgr.S); err != nil {
 				return nil, nil, err
 			}
 		}
 		res := x.rangeOp(table, lo, hi, limit, base.ReadPlain)
-		if err := res.Err(); err != nil {
+		if err := x.resErr(res); err != nil {
 			return nil, nil, err
 		}
 		return res.Keys, res.Values, nil
@@ -506,9 +642,9 @@ func (x *Txn) fetchAheadScan(table, lo, hi string, limit int) ([]string, [][]byt
 	}
 	// Initial speculative probe.
 	x.tc.probes.Add(1)
-	probe := x.tc.perform(&base.Op{TC: x.tc.cfg.ID, LSN: x.tc.log.AllocLSN(),
+	probe := x.tc.perform(x.ctx, &base.Op{TC: x.tc.cfg.ID, LSN: x.tc.log.AllocLSN(),
 		Kind: base.OpScanProbe, Table: table, Key: lo, EndKey: hi, Limit: probeLimit})
-	if err := probe.Err(); err != nil {
+	if err := x.resErr(probe); err != nil {
 		return nil, nil, err
 	}
 	toLock := probe.Keys
@@ -517,14 +653,13 @@ func (x *Txn) fetchAheadScan(table, lo, hi string, limit int) ([]string, [][]byt
 			if locked[k] {
 				continue
 			}
-			if err := x.tc.locks.Lock(x.id, lockmgr.KeyRes(table, k), lockmgr.S); err != nil {
-				_ = x.Abort()
+			if err := x.lock(lockmgr.KeyRes(table, k), lockmgr.S); err != nil {
 				return nil, nil, err
 			}
 			locked[k] = true
 		}
 		res := x.rangeOp(table, lo, hi, limit, base.ReadPlain)
-		if err := res.Err(); err != nil {
+		if err := x.resErr(res); err != nil {
 			return nil, nil, err
 		}
 		// Should the records read differ from the ones locked, this read
@@ -557,7 +692,7 @@ func (x *Txn) ScanCommitted(table, lo, hi string, limit int) ([]string, [][]byte
 		return nil, nil, err
 	}
 	res := x.rangeOp(table, lo, hi, limit, base.ReadCommitted)
-	if err := res.Err(); err != nil {
+	if err := x.resErr(res); err != nil {
 		return nil, nil, err
 	}
 	return res.Keys, res.Values, nil
@@ -572,14 +707,25 @@ func (x *Txn) ScanDirty(table, lo, hi string, limit int) ([]string, [][]byte, er
 		return nil, nil, err
 	}
 	res := x.rangeOp(table, lo, hi, limit, base.ReadDirty)
-	if err := res.Err(); err != nil {
+	if err := x.resErr(res); err != nil {
 		return nil, nil, err
 	}
 	return res.Keys, res.Values, nil
 }
 
+// resErr converts an operation result's failure into the transaction's
+// error, folding a cancelled wait into the context-carrying form so
+// errors.Is matches both ErrCancelled and the context's own error (the
+// documented contract; readOp does the same for point reads).
+func (x *Txn) resErr(res *base.Result) error {
+	if res.Code == base.CodeCancelled {
+		return base.CancelErr(x.ctx)
+	}
+	return res.Err()
+}
+
 func (x *Txn) rangeOp(table, lo, hi string, limit int, flavor base.ReadFlavor) *base.Result {
-	return x.tc.perform(&base.Op{TC: x.tc.cfg.ID, LSN: x.tc.log.AllocLSN(),
+	return x.tc.perform(x.ctx, &base.Op{TC: x.tc.cfg.ID, LSN: x.tc.log.AllocLSN(),
 		Kind: base.OpRangeRead, Table: table, Key: lo, EndKey: hi,
 		Limit: int32(limit), Flavor: flavor})
 }

@@ -14,9 +14,9 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -241,11 +241,11 @@ func (s *Server) run() {
 			case msgLWM:
 				s.svc.LowWaterMark(m.tc, m.epoch, m.lsn)
 			case msgCheckpoint:
-				go s.control(m, func() error { return s.svc.Checkpoint(m.tc, m.epoch, m.lsn) })
+				go s.control(m, func() error { return s.svc.Checkpoint(context.Background(), m.tc, m.epoch, m.lsn) })
 			case msgBeginRestart:
-				go s.control(m, func() error { return s.svc.BeginRestart(m.tc, m.epoch, m.lsn) })
+				go s.control(m, func() error { return s.svc.BeginRestart(context.Background(), m.tc, m.epoch, m.lsn) })
 			case msgEndRestart:
-				go s.control(m, func() error { return s.svc.EndRestart(m.tc, m.epoch) })
+				go s.control(m, func() error { return s.svc.EndRestart(context.Background(), m.tc, m.epoch) })
 			}
 		}
 	}
@@ -257,7 +257,10 @@ func (s *Server) perform(m *message) {
 		s.net.deliver(s.out, &message{kind: msgReply, id: m.id, err: err.Error()})
 		return
 	}
-	res := s.svc.Perform(op)
+	// The server side has no caller context: a request that reached the DC
+	// executes to completion (cancellation only ever abandons the client's
+	// wait).
+	res := s.svc.Perform(context.Background(), op)
 	s.net.deliver(s.out, &message{kind: msgReply, id: m.id, body: base.AppendResult(getReplyBuf(), res)})
 }
 
@@ -267,7 +270,7 @@ func (s *Server) performBatch(m *message) {
 		s.net.deliver(s.out, &message{kind: msgReply, id: m.id, err: err.Error()})
 		return
 	}
-	rs := s.svc.PerformBatch(ops)
+	rs := s.svc.PerformBatch(context.Background(), ops)
 	s.net.deliver(s.out, &message{kind: msgReply, id: m.id, body: base.AppendResultBatch(getReplyBuf(), rs)})
 }
 
@@ -355,8 +358,10 @@ func (c *Client) run() {
 }
 
 // call sends m (with a fresh correlation id per attempt) and resends until
-// a reply arrives.
-func (c *Client) call(kind msgKind, tc base.TCID, epoch base.Epoch, lsn base.LSN, body []byte) *message {
+// a reply arrives, the client is closed, or ctx is done (the returned
+// error is then the ErrCancelled-wrapped ctx error). Cancellation abandons
+// only the wait: attempts already delivered may still execute at the DC.
+func (c *Client) call(ctx context.Context, kind msgKind, tc base.TCID, epoch base.Epoch, lsn base.LSN, body []byte) (*message, error) {
 	resend := c.net.cfg.resendAfter()
 	attempt := 0
 	for {
@@ -376,7 +381,7 @@ func (c *Client) call(kind msgKind, tc base.TCID, epoch base.Epoch, lsn base.LSN
 			c.mu.Lock()
 			delete(c.waiters, id)
 			c.mu.Unlock()
-			return reply
+			return reply, nil
 		case <-timer.C:
 			c.mu.Lock()
 			delete(c.waiters, id)
@@ -386,35 +391,48 @@ func (c *Client) call(kind msgKind, tc base.TCID, epoch base.Epoch, lsn base.LSN
 			if attempt > 4 && resend < time.Second {
 				resend *= 2
 			}
+		case <-ctx.Done():
+			timer.Stop()
+			c.mu.Lock()
+			delete(c.waiters, id)
+			c.mu.Unlock()
+			return nil, base.CancelErr(ctx)
 		case <-c.in.close:
 			timer.Stop()
-			return &message{kind: msgReply, err: "wire: client closed"}
+			return &message{kind: msgReply, err: closedErrText}, nil
 		}
 	}
 }
 
+// closedErrText names the taxonomy sentinel so controlErr rehydrates a
+// closed-stub failure as base.ErrUnavailable.
+var closedErrText = "wire: client closed: " + base.ErrUnavailable.Error()
+
 // Perform implements base.Service. It blocks, resending, until the DC
 // acknowledges — exactly-once courtesy of unique request IDs (op.LSN) and
-// DC idempotence.
-func (c *Client) Perform(op *base.Op) *base.Result {
+// DC idempotence — or until ctx is done (CodeCancelled).
+func (c *Client) Perform(ctx context.Context, op *base.Op) *base.Result {
 	body := base.AppendOp(nil, op)
 	for {
-		reply := c.call(msgPerform, op.TC, op.Epoch, op.LSN, body)
+		reply, err := c.call(ctx, msgPerform, op.TC, op.Epoch, op.LSN, body)
+		if err != nil {
+			return &base.Result{LSN: op.LSN, Code: base.CodeCancelled}
+		}
 		if reply.err != "" {
 			return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
 		}
-		res, _, err := base.DecodeResult(reply.body)
+		res, _, derr := base.DecodeResult(reply.body)
 		putReplyBuf(reply.body)
-		if err != nil {
+		if derr != nil {
 			return &base.Result{LSN: op.LSN, Code: base.CodeBadRequest}
 		}
 		// CodeStaleEpoch is a permanent nack (the sender's incarnation was
 		// fenced by a restart): returned as-is, never retried.
 		if res.Code == base.CodeUnavailable {
 			// DC up but still recovering; retry after a pause (which a
-			// concurrent Close cuts short).
-			if !c.pause() {
-				return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
+			// concurrent Close or cancellation cuts short).
+			if code := c.pause(ctx); code != base.CodeOK {
+				return &base.Result{LSN: op.LSN, Code: code}
 			}
 			continue
 		}
@@ -427,9 +445,9 @@ func (c *Client) Perform(op *base.Op) *base.Result {
 // any CodeUnavailable result (the DC was down or recovering) triggers a
 // resend of the whole batch — per-operation idempotence absorbs the
 // re-execution of operations that did land.
-func (c *Client) PerformBatch(ops []*base.Op) []*base.Result {
+func (c *Client) PerformBatch(ctx context.Context, ops []*base.Op) []*base.Result {
 	if len(ops) == 1 {
-		return []*base.Result{c.Perform(ops[0])}
+		return []*base.Result{c.Perform(ctx, ops[0])}
 	}
 	body := base.AppendOpBatch(nil, ops)
 	fail := func(code base.Code) []*base.Result {
@@ -440,13 +458,15 @@ func (c *Client) PerformBatch(ops []*base.Op) []*base.Result {
 		return rs
 	}
 	for {
-		reply := c.call(msgPerformBatch, ops[0].TC, ops[0].Epoch, ops[0].LSN, body)
+		reply, err := c.call(ctx, msgPerformBatch, ops[0].TC, ops[0].Epoch, ops[0].LSN, body)
+		if err != nil {
+			return fail(base.CodeCancelled)
+		}
 		if reply.err != "" {
 			return fail(base.CodeUnavailable)
 		}
-		rs, _, err := base.DecodeResultBatch(reply.body)
-		putReplyBuf(reply.body)
-		if err != nil || len(rs) != len(ops) {
+		rs, derr := decodeBatchReply(reply.body, len(ops))
+		if derr != nil {
 			return fail(base.CodeBadRequest)
 		}
 		unavailable := false
@@ -459,22 +479,37 @@ func (c *Client) PerformBatch(ops []*base.Op) []*base.Result {
 		if !unavailable {
 			return rs
 		}
-		if !c.pause() {
-			return fail(base.CodeUnavailable)
+		if code := c.pause(ctx); code != base.CodeOK {
+			return fail(code)
 		}
 	}
 }
 
-// pause sleeps one resend interval before retrying a recovering DC; it
-// returns false when the client is closed during the wait.
-func (c *Client) pause() bool {
+func decodeBatchReply(body []byte, want int) ([]*base.Result, error) {
+	rs, _, err := base.DecodeResultBatch(body)
+	putReplyBuf(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != want {
+		return nil, fmt.Errorf("wire: batch reply size %d, want %d", len(rs), want)
+	}
+	return rs, nil
+}
+
+// pause sleeps one resend interval before retrying a recovering DC. It
+// returns CodeOK to retry, CodeUnavailable when the client was closed
+// during the wait, or CodeCancelled when ctx expired first.
+func (c *Client) pause(ctx context.Context) base.Code {
 	timer := time.NewTimer(c.net.cfg.resendAfter())
 	defer timer.Stop()
 	select {
 	case <-timer.C:
-		return true
+		return base.CodeOK
+	case <-ctx.Done():
+		return base.CodeCancelled
 	case <-c.in.close:
-		return false
+		return base.CodeUnavailable
 	}
 }
 
@@ -490,28 +525,29 @@ func (c *Client) LowWaterMark(tc base.TCID, epoch base.Epoch, lwm base.LSN) {
 }
 
 // Checkpoint implements base.Service with resend until acknowledged.
-func (c *Client) Checkpoint(tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
-	return c.controlErr(c.call(msgCheckpoint, tc, epoch, newRSSP, nil))
+func (c *Client) Checkpoint(ctx context.Context, tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
+	return c.controlErr(c.call(ctx, msgCheckpoint, tc, epoch, newRSSP, nil))
 }
 
 // BeginRestart implements base.Service with resend until acknowledged.
-func (c *Client) BeginRestart(tc base.TCID, epoch base.Epoch, stableLSN base.LSN) error {
-	return c.controlErr(c.call(msgBeginRestart, tc, epoch, stableLSN, nil))
+func (c *Client) BeginRestart(ctx context.Context, tc base.TCID, epoch base.Epoch, stableLSN base.LSN) error {
+	return c.controlErr(c.call(ctx, msgBeginRestart, tc, epoch, stableLSN, nil))
 }
 
 // EndRestart implements base.Service with resend until acknowledged.
-func (c *Client) EndRestart(tc base.TCID, epoch base.Epoch) error {
-	return c.controlErr(c.call(msgEndRestart, tc, epoch, 0, nil))
+func (c *Client) EndRestart(ctx context.Context, tc base.TCID, epoch base.Epoch) error {
+	return c.controlErr(c.call(ctx, msgEndRestart, tc, epoch, 0, nil))
 }
 
-func (c *Client) controlErr(reply *message) error {
+func (c *Client) controlErr(reply *message, err error) error {
+	if err != nil {
+		return err
+	}
 	if reply.err != "" {
 		// Control failures cross the wire as strings; rehydrate the typed
-		// stale-epoch error so errors.Is keeps working through the stub.
-		if strings.Contains(reply.err, base.ErrStaleEpoch.Error()) {
-			return fmt.Errorf("wire: %s: %w", reply.err, base.ErrStaleEpoch)
-		}
-		return fmt.Errorf("wire: %s", reply.err)
+		// sentinels (stale-epoch, unavailable) so errors.Is keeps working
+		// through the stub.
+		return fmt.Errorf("wire: %w", base.RehydrateWireError(reply.err))
 	}
 	return nil
 }

@@ -1,7 +1,10 @@
 package wire
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -26,7 +29,7 @@ func newEchoService() *echoService {
 	return &echoService{applied: make(map[base.LSN]int)}
 }
 
-func (s *echoService) Perform(op *base.Op) *base.Result {
+func (s *echoService) Perform(ctx context.Context, op *base.Op) *base.Result {
 	if s.unavail.Load() {
 		return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
 	}
@@ -37,10 +40,10 @@ func (s *echoService) Perform(op *base.Op) *base.Result {
 		Value: []byte(op.Key), Applied: s.applied[op.LSN] > 1}
 }
 
-func (s *echoService) PerformBatch(ops []*base.Op) []*base.Result {
+func (s *echoService) PerformBatch(ctx context.Context, ops []*base.Op) []*base.Result {
 	out := make([]*base.Result, len(ops))
 	for i, op := range ops {
-		out[i] = s.Perform(op)
+		out[i] = s.Perform(context.Background(), op)
 	}
 	return out
 }
@@ -61,21 +64,23 @@ func (s *echoService) LowWaterMark(tc base.TCID, epoch base.Epoch, lwm base.LSN)
 	}
 }
 
-func (s *echoService) Checkpoint(tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
+func (s *echoService) Checkpoint(ctx context.Context, tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ckpts = append(s.ckpts, newRSSP)
 	return nil
 }
 
-func (s *echoService) BeginRestart(tc base.TCID, epoch base.Epoch, stableLSN base.LSN) error {
+func (s *echoService) BeginRestart(ctx context.Context, tc base.TCID, epoch base.Epoch, stableLSN base.LSN) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.restarts = append(s.restarts, epoch)
 	return nil
 }
 
-func (s *echoService) EndRestart(tc base.TCID, epoch base.Epoch) error { return nil }
+func (s *echoService) EndRestart(ctx context.Context, tc base.TCID, epoch base.Epoch) error {
+	return nil
+}
 
 func TestPerformPerfectNetwork(t *testing.T) {
 	n := NewNetwork(Config{})
@@ -84,7 +89,7 @@ func TestPerformPerfectNetwork(t *testing.T) {
 	defer cl.Close()
 	defer srv.Close()
 
-	res := cl.Perform(&base.Op{TC: 1, LSN: 7, Kind: base.OpRead, Table: "t", Key: "k"})
+	res := cl.Perform(context.Background(), &base.Op{TC: 1, LSN: 7, Kind: base.OpRead, Table: "t", Key: "k"})
 	if res.Code != base.CodeOK || string(res.Value) != "k" || res.LSN != 7 {
 		t.Fatalf("res = %+v", res)
 	}
@@ -104,7 +109,7 @@ func TestPerformLossyNetworkExactlyOnceEffect(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res := cl.Perform(&base.Op{TC: 1, LSN: base.LSN(i), Kind: base.OpUpsert,
+			res := cl.Perform(context.Background(), &base.Op{TC: 1, LSN: base.LSN(i), Kind: base.OpUpsert,
 				Table: "t", Key: fmt.Sprintf("k%d", i)})
 			if res.Code != base.CodeOK {
 				t.Errorf("op %d failed: %+v", i, res)
@@ -133,7 +138,7 @@ func TestControlMessages(t *testing.T) {
 	defer cl.Close()
 	defer srv.Close()
 
-	if err := cl.Checkpoint(1, 3, 55); err != nil {
+	if err := cl.Checkpoint(context.Background(), 1, 3, 55); err != nil {
 		t.Fatal(err)
 	}
 	svc.mu.Lock()
@@ -142,7 +147,7 @@ func TestControlMessages(t *testing.T) {
 	if !ok {
 		t.Fatalf("checkpoint not delivered: %v", svc.ckpts)
 	}
-	if err := cl.BeginRestart(1, 4, 10); err != nil {
+	if err := cl.BeginRestart(context.Background(), 1, 4, 10); err != nil {
 		t.Fatal(err)
 	}
 	// The incarnation epoch must survive the trip (it is the DC-side fence).
@@ -152,7 +157,7 @@ func TestControlMessages(t *testing.T) {
 	if !gotEpoch {
 		t.Fatalf("begin-restart epoch not delivered: %v", svc.restarts)
 	}
-	if err := cl.EndRestart(1, 4); err != nil {
+	if err := cl.EndRestart(context.Background(), 1, 4); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -190,7 +195,7 @@ func TestServerDownThenUp(t *testing.T) {
 	srv.SetDown(true)
 	done := make(chan *base.Result, 1)
 	go func() {
-		done <- cl.Perform(&base.Op{TC: 1, LSN: 1, Kind: base.OpRead, Table: "t", Key: "k"})
+		done <- cl.Perform(context.Background(), &base.Op{TC: 1, LSN: 1, Kind: base.OpRead, Table: "t", Key: "k"})
 	}()
 	select {
 	case <-done:
@@ -218,7 +223,7 @@ func TestUnavailableRetries(t *testing.T) {
 
 	done := make(chan *base.Result, 1)
 	go func() {
-		done <- cl.Perform(&base.Op{TC: 1, LSN: 5, Kind: base.OpRead, Table: "t", Key: "k"})
+		done <- cl.Perform(context.Background(), &base.Op{TC: 1, LSN: 5, Kind: base.OpRead, Table: "t", Key: "k"})
 	}()
 	time.Sleep(10 * time.Millisecond)
 	svc.unavail.Store(false)
@@ -241,7 +246,7 @@ func TestClientCloseUnblocksPerform(t *testing.T) {
 
 	done := make(chan *base.Result, 1)
 	go func() {
-		done <- cl.Perform(&base.Op{TC: 1, LSN: 1, Kind: base.OpRead, Table: "t", Key: "k"})
+		done <- cl.Perform(context.Background(), &base.Op{TC: 1, LSN: 1, Kind: base.OpRead, Table: "t", Key: "k"})
 	}()
 	time.Sleep(10 * time.Millisecond)
 	cl.Close()
@@ -267,7 +272,7 @@ func TestPerformBatchRoundTrip(t *testing.T) {
 		{TC: 1, LSN: 11, Kind: base.OpUpsert, Table: "t", Key: "b"},
 		{TC: 1, LSN: 12, Kind: base.OpUpsert, Table: "t", Key: "c"},
 	}
-	rs := cl.PerformBatch(ops)
+	rs := cl.PerformBatch(context.Background(), ops)
 	if len(rs) != len(ops) {
 		t.Fatalf("got %d results for %d ops", len(rs), len(ops))
 	}
@@ -296,7 +301,7 @@ func TestPerformBatchLossyNetwork(t *testing.T) {
 				ops[i] = &base.Op{TC: 1, LSN: base.LSN(b*10 + i + 1),
 					Kind: base.OpUpsert, Table: "t", Key: fmt.Sprintf("k%d-%d", b, i)}
 			}
-			rs := cl.PerformBatch(ops)
+			rs := cl.PerformBatch(context.Background(), ops)
 			for i, r := range rs {
 				if r.Code != base.CodeOK || r.LSN != ops[i].LSN {
 					t.Errorf("batch %d result %d = %+v", b, i, r)
@@ -325,10 +330,10 @@ func TestClientCloseDuringResendUnblocksPerform(t *testing.T) {
 
 	done := make(chan *base.Result, 2)
 	go func() {
-		done <- cl.Perform(&base.Op{TC: 1, LSN: 1, Kind: base.OpUpsert, Table: "t", Key: "k"})
+		done <- cl.Perform(context.Background(), &base.Op{TC: 1, LSN: 1, Kind: base.OpUpsert, Table: "t", Key: "k"})
 	}()
 	go func() {
-		rs := cl.PerformBatch([]*base.Op{
+		rs := cl.PerformBatch(context.Background(), []*base.Op{
 			{TC: 1, LSN: 2, Kind: base.OpUpsert, Table: "t", Key: "a"},
 			{TC: 1, LSN: 3, Kind: base.OpUpsert, Table: "t", Key: "b"},
 		})
@@ -360,7 +365,7 @@ func TestClientCloseDuringUnavailableRetryUnblocks(t *testing.T) {
 
 	done := make(chan *base.Result, 1)
 	go func() {
-		done <- cl.Perform(&base.Op{TC: 1, LSN: 5, Kind: base.OpUpsert, Table: "t", Key: "k"})
+		done <- cl.Perform(context.Background(), &base.Op{TC: 1, LSN: 5, Kind: base.OpUpsert, Table: "t", Key: "k"})
 	}()
 	time.Sleep(20 * time.Millisecond) // reply with Unavailable arrives; retry pause begins
 	start := time.Now()
@@ -383,19 +388,19 @@ func TestClientCloseDuringUnavailableRetryUnblocks(t *testing.T) {
 // fence has moved past the caller's incarnation.
 type fencingService struct{ echoService }
 
-func (s *fencingService) Perform(op *base.Op) *base.Result {
+func (s *fencingService) Perform(ctx context.Context, op *base.Op) *base.Result {
 	return &base.Result{LSN: op.LSN, Code: base.CodeStaleEpoch}
 }
 
-func (s *fencingService) PerformBatch(ops []*base.Op) []*base.Result {
+func (s *fencingService) PerformBatch(ctx context.Context, ops []*base.Op) []*base.Result {
 	out := make([]*base.Result, len(ops))
 	for i, op := range ops {
-		out[i] = s.Perform(op)
+		out[i] = s.Perform(context.Background(), op)
 	}
 	return out
 }
 
-func (s *fencingService) Checkpoint(tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
+func (s *fencingService) Checkpoint(ctx context.Context, tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
 	return fmt.Errorf("dc x: epoch %d fenced: %w", epoch, base.ErrStaleEpoch)
 }
 
@@ -410,11 +415,11 @@ func TestStaleEpochIsPermanentNack(t *testing.T) {
 	defer srv.Close()
 
 	start := time.Now()
-	res := cl.Perform(&base.Op{TC: 1, Epoch: 1, LSN: 7, Kind: base.OpUpsert, Table: "t", Key: "k"})
+	res := cl.Perform(context.Background(), &base.Op{TC: 1, Epoch: 1, LSN: 7, Kind: base.OpUpsert, Table: "t", Key: "k"})
 	if res.Code != base.CodeStaleEpoch {
 		t.Fatalf("res = %+v", res)
 	}
-	rs := cl.PerformBatch([]*base.Op{
+	rs := cl.PerformBatch(context.Background(), []*base.Op{
 		{TC: 1, Epoch: 1, LSN: 8, Kind: base.OpUpsert, Table: "t", Key: "a"},
 		{TC: 1, Epoch: 1, LSN: 9, Kind: base.OpUpsert, Table: "t", Key: "b"},
 	})
@@ -429,7 +434,7 @@ func TestStaleEpochIsPermanentNack(t *testing.T) {
 
 	// Typed control errors survive the string crossing: errors.Is works
 	// through the stub.
-	if err := cl.Checkpoint(1, 1, 10); !base.IsStaleEpoch(err) {
+	if err := cl.Checkpoint(context.Background(), 1, 1, 10); !base.IsStaleEpoch(err) {
 		t.Fatalf("checkpoint error not rehydrated as stale-epoch: %v", err)
 	}
 }
@@ -442,7 +447,7 @@ func TestDelayIsApplied(t *testing.T) {
 	defer srv.Close()
 
 	start := time.Now()
-	cl.Perform(&base.Op{TC: 1, LSN: 1, Kind: base.OpRead, Table: "t", Key: "k"})
+	cl.Perform(context.Background(), &base.Op{TC: 1, LSN: 1, Kind: base.OpRead, Table: "t", Key: "k"})
 	if rtt := time.Since(start); rtt < 10*time.Millisecond {
 		t.Fatalf("round trip %v < 2x one-way delay", rtt)
 	}
@@ -467,9 +472,141 @@ func BenchmarkPerformRoundTrip(b *testing.B) {
 				i := 0
 				for pb.Next() {
 					i++
-					cl.Perform(&base.Op{TC: 1, LSN: base.LSN(i), Kind: base.OpRead, Table: "t", Key: "k"})
+					cl.Perform(context.Background(), &base.Op{TC: 1, LSN: base.LSN(i), Kind: base.OpRead, Table: "t", Key: "k"})
 				}
 			})
 		})
+	}
+}
+
+// checkNoGoroutineLeak polls until the goroutine count returns to within
+// slack of the baseline (wire pumps the caller still owns are accounted
+// for by taking the baseline after Connect).
+func checkNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestCancelDuringUnavailableRetry: a Perform parked in the unavailable-
+// retry pause returns promptly with CodeCancelled when the caller's
+// context is cancelled, without tearing down the client, and leaks no
+// goroutines.
+func TestCancelDuringUnavailableRetry(t *testing.T) {
+	n := NewNetwork(Config{ResendAfter: 500 * time.Millisecond})
+	svc := newEchoService()
+	svc.unavail.Store(true)
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+	time.Sleep(10 * time.Millisecond) // pumps up
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *base.Result, 1)
+	go func() {
+		done <- cl.Perform(ctx, &base.Op{TC: 1, LSN: 5, Kind: base.OpRead, Table: "t", Key: "k"})
+	}()
+	time.Sleep(20 * time.Millisecond) // Unavailable reply arrives; pause begins
+	start := time.Now()
+	cancel()
+	select {
+	case res := <-done:
+		if res.Code != base.CodeCancelled {
+			t.Fatalf("res = %+v", res)
+		}
+		if err := res.Err(); !errors.Is(err, base.ErrCancelled) {
+			t.Fatalf("result error %v does not match ErrCancelled", err)
+		}
+		if time.Since(start) > 250*time.Millisecond {
+			t.Fatalf("cancel did not cut the retry pause short: %v", time.Since(start))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Perform hung in unavailable-retry after cancellation")
+	}
+	// The client stays usable for other contexts.
+	svc.unavail.Store(false)
+	if res := cl.Perform(context.Background(), &base.Op{TC: 1, LSN: 6, Kind: base.OpRead, Table: "t", Key: "k"}); res.Code != base.CodeOK {
+		t.Fatalf("client unusable after a cancelled call: %+v", res)
+	}
+	checkNoGoroutineLeak(t, baseline)
+}
+
+// TestCancelDuringResendLoop: cancellation also unblocks a call that is
+// resending into a void (server down, no replies at all).
+func TestCancelDuringResendLoop(t *testing.T) {
+	n := NewNetwork(Config{ResendAfter: 50 * time.Millisecond})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+	srv.SetDown(true)
+	time.Sleep(10 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res := cl.Perform(ctx, &base.Op{TC: 1, LSN: 9, Kind: base.OpRead, Table: "t", Key: "k"})
+	if res.Code != base.CodeCancelled {
+		t.Fatalf("res = %+v", res)
+	}
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Fatalf("cancelled resend loop took %v", el)
+	}
+	// Batches too.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel2()
+	rs := cl.PerformBatch(ctx2, []*base.Op{
+		{TC: 1, LSN: 10, Kind: base.OpUpsert, Table: "t", Key: "a"},
+		{TC: 1, LSN: 11, Kind: base.OpUpsert, Table: "t", Key: "b"},
+	})
+	for _, r := range rs {
+		if r.Code != base.CodeCancelled {
+			t.Fatalf("batch result = %+v", r)
+		}
+	}
+	checkNoGoroutineLeak(t, baseline)
+}
+
+// TestCancelControlCall: a control call abandoned by cancellation returns
+// the typed taxonomy error wrapping the context error.
+func TestCancelControlCall(t *testing.T) {
+	n := NewNetwork(Config{ResendAfter: 50 * time.Millisecond})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer cl.Close()
+	defer srv.Close()
+	srv.SetDown(true)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	err := cl.Checkpoint(ctx, 1, 1, 10)
+	if !errors.Is(err, base.ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("control error %v does not carry ErrCancelled + DeadlineExceeded", err)
+	}
+}
+
+// TestClosedClientErrorIsTyped: a closed stub's control failure folds into
+// ErrUnavailable (rehydrated from the reply string), so retry policies
+// classify it as transient.
+func TestClosedClientErrorIsTyped(t *testing.T) {
+	n := NewNetwork(Config{})
+	svc := newEchoService()
+	cl, srv := n.Connect(svc)
+	defer srv.Close()
+	cl.Close()
+	err := cl.Checkpoint(context.Background(), 1, 1, 10)
+	if !errors.Is(err, base.ErrUnavailable) {
+		t.Fatalf("closed-client control error %v does not match ErrUnavailable", err)
+	}
+	if !base.IsTransient(err) {
+		t.Fatal("closed-client error must classify as transient")
 	}
 }

@@ -6,14 +6,18 @@
 // cache, stable storage, atomic idempotent record operations), interacting
 // at arm's length through a contract-governed message interface.
 //
-// Open a deployment, then run transactions against any of its TCs:
+// # The client API
+//
+// Open a deployment, take its Client, and run transactions through it:
 //
 //	dep, err := unbundled.Open(unbundled.Options{
-//		TCs: 1, DCs: 2, Tables: []string{"kv"},
+//		TCs: 2, DCs: 2, Tables: []string{"kv"},
 //		Route: func(table, key string) int { ... },
 //	})
 //	...
-//	err = dep.TCs[0].RunTxn(false, func(x *unbundled.Txn) error {
+//	defer dep.Close()
+//	client := dep.Client()
+//	err = client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 //		if err := x.Insert("kv", "hello", []byte("world")); err != nil {
 //			return err
 //		}
@@ -21,6 +25,40 @@
 //		...
 //		return nil
 //	})
+//
+// RunTxn commits when fn returns nil and aborts when it returns an error.
+// Transactions are routed across the deployment's TCs (round-robin with a
+// least-inflight tiebreak) unless TxnOptions.TC pins one — locks live per
+// TC, so multi-TC deployments must partition update ownership per §6.1
+// and pin writes to the owner (see TxnOptions.TC); transient aborts
+// — deadlock victims, lock timeouts, component-unavailable windows — are
+// retried automatically with exponential backoff, bounded by
+// TxnOptions.MaxAttempts. TxnOptions also selects versioned writes
+// (§6.2.2 sharing), read-only enforcement, and a per-transaction lock
+// timeout. Client.Begin starts an explicitly managed transaction (no
+// retry; Commit/Abort are the caller's job).
+//
+// # Contexts and cancellation
+//
+// Every wait in the stack honors the transaction's context: lock-manager
+// queues, wire send/resend loops and unavailable-retry pauses, the
+// pipelined commit's ack barrier, and simulated log-force latency. A
+// cancelled wait returns promptly with an error that errors.Is-matches
+// both ErrCancelled and the context's own error. One thing is deliberately
+// not cancellable: the delivery of an already-logged write. Its record is
+// in the TC-log, so the §4.2 resend/redo contract must (and will) run to
+// completion — cancellation abandons waits, never the protocol.
+//
+// # Errors
+//
+// Failures are typed, end to end: the sentinels below (with ErrStaleEpoch
+// and friends) survive crossing the TC:DC wire — operation outcomes travel
+// as result codes and control-call failures are rehydrated from their
+// message text — so errors.Is works identically over direct and networked
+// deployments. IsTransient classifies what a caller (or Client.RunTxn
+// itself) should retry.
+//
+// # Failures and recovery
 //
 // Components fail independently: Deployment.CrashTC / CrashDC /
 // CrashAll inject the paper's §5.3 partial failures, and RecoverTC /
@@ -67,20 +105,17 @@
 // the sender's epoch. BeginRestart installs the new epoch at each DC as a
 // per-TC fence — durably, in the DC-log, before the cache reset runs — and
 // from that moment the DC refuses anything stamped with an older epoch:
-// operations nack permanently with CodeStaleEpoch (never retried; the
-// pipeline surfaces ErrStaleEpoch at the barrier), stale watermark
-// broadcasts are dropped, and stale control calls fail with ErrStaleEpoch.
+// operations nack permanently with ErrStaleEpoch (never retried), stale
+// watermark broadcasts are dropped, and stale control calls fail typed.
 // EndRestart atomically activates the staged epoch and discards whatever
-// the dead incarnation still had queued inside the DC. The same epoch
-// stamp doubles as the TC-side generation fence: acknowledgements of a
-// dead incarnation's calls can never feed the restarted ack tracker. The
-// fence survives DC crashes (epoch snapshots are replayed from the DC-log
-// before any operation is served, and truncation re-logs them), making
-// restart correctness independent of timing on a lossy, reordering,
-// duplicating network.
+// the dead incarnation still had queued. The fence survives DC crashes
+// (epoch snapshots are replayed from the DC-log before any operation is
+// served, and truncation re-logs them), making restart correctness
+// independent of timing on a lossy, reordering, duplicating network.
 package unbundled
 
 import (
+	"github.com/cidr09/unbundled/internal/base"
 	"github.com/cidr09/unbundled/internal/buffer"
 	"github.com/cidr09/unbundled/internal/core"
 	"github.com/cidr09/unbundled/internal/dc"
@@ -92,6 +127,13 @@ import (
 type (
 	// Deployment is a running unbundled kernel (N TCs sharing M DCs).
 	Deployment = core.Deployment
+	// Client is the deployment-level transaction API: routing, typed
+	// retry, and context plumbing. Obtain it with Deployment.Client.
+	Client = core.Client
+	// TxnOptions shapes one client transaction (versioning, read-only,
+	// lock timeout, TC pin, retry policy). The zero value is a plain
+	// auto-routed read-write transaction.
+	TxnOptions = core.TxnOptions
 	// Options configures Open.
 	Options = core.Options
 	// TCConfig customizes one transactional component.
@@ -125,12 +167,45 @@ const (
 	StaticRange = tc.StaticRange
 )
 
-// Transaction-level errors.
+// The error taxonomy. Branch with errors.Is; IsTransient classifies the
+// retryable subset. ErrCancelled-carrying errors also wrap the context's
+// own error (context.Canceled / context.DeadlineExceeded).
 var (
-	ErrNotFound  = tc.ErrNotFound
+	// ErrNotFound: update/delete/read of a missing key.
+	ErrNotFound = tc.ErrNotFound
+	// ErrDuplicate: insert of an existing key.
 	ErrDuplicate = tc.ErrDuplicate
-	ErrTxnDone   = tc.ErrTxnDone
+	// ErrTxnDone: use of a committed or aborted transaction.
+	ErrTxnDone = tc.ErrTxnDone
+	// ErrDeadlock: the transaction was chosen as a deadlock victim and
+	// aborted. Transient.
+	ErrDeadlock = base.ErrDeadlock
+	// ErrLockTimeout: a lock wait exceeded its bound; the transaction was
+	// aborted. Transient.
+	ErrLockTimeout = base.ErrLockTimeout
+	// ErrUnavailable: a component is down, restarting, or shut down.
+	// Transient.
+	ErrUnavailable = base.ErrUnavailable
+	// ErrStaleEpoch: the request came from a TC incarnation fenced by a
+	// restart. Permanent.
+	ErrStaleEpoch = base.ErrStaleEpoch
+	// ErrCancelled: the caller's context was cancelled or its deadline
+	// expired. Permanent under that context.
+	ErrCancelled = base.ErrCancelled
+	// ErrReadOnly: a write inside a TxnOptions.ReadOnly transaction.
+	// Permanent.
+	ErrReadOnly = base.ErrReadOnly
+	// ErrCommitAmbiguous: Commit failed after the commit record was
+	// appended — the outcome is decided by the log, so the transaction
+	// must not be re-executed. Client.RunTxn never retries it, even when
+	// the underlying failure is transient.
+	ErrCommitAmbiguous = tc.ErrCommitAmbiguous
 )
+
+// IsTransient reports whether err is an abort worth retrying as a fresh
+// transaction (deadlock victim, lock timeout, component unavailable).
+// Client.RunTxn already retries exactly this class.
+func IsTransient(err error) bool { return base.IsTransient(err) }
 
 // Open builds and starts a deployment.
 func Open(opts Options) (*Deployment, error) { return core.New(opts) }
