@@ -1,0 +1,102 @@
+// Command benchcheck gates CI on benchmark regressions: it parses `go
+// test -bench` output, compares each benchmark's ns/op against the
+// checked-in baseline (BENCH_BASELINE.json), and exits nonzero when any
+// benchmark regresses past the allowed ratio — or silently disappears
+// from the output, which would otherwise let a deleted benchmark "pass"
+// forever.
+//
+//	go test -run='^$' -bench=E1 -benchtime=100x . | tee bench.txt
+//	benchcheck -baseline BENCH_BASELINE.json -in bench.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type baseline struct {
+	MaxRatio   float64            `json:"max_ratio"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches e.g. "BenchmarkE1TxnMonolith-8   100   6941 ns/op ...";
+// the -8 GOMAXPROCS suffix is optional and discarded.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file")
+	in := flag.String("in", "-", "bench output file (- for stdin)")
+	maxRatio := flag.Float64("max-ratio", 0, "override the baseline's max_ratio")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *baselinePath, err))
+	}
+	ratio := base.MaxRatio
+	if *maxRatio > 0 {
+		ratio = *maxRatio
+	}
+	if ratio <= 0 {
+		ratio = 2.0
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	data, err := io.ReadAll(src)
+	if err != nil {
+		fatal(err)
+	}
+	got := make(map[string]float64)
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(data), -1) {
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			if ns, err := strconv.ParseFloat(m[2], 64); err == nil {
+				got[m[1]] = ns
+			}
+		}
+	}
+
+	failed := false
+	for name, want := range base.Benchmarks {
+		ns, ok := got[name]
+		if !ok {
+			fmt.Printf("FAIL %-40s missing from bench output\n", name)
+			failed = true
+			continue
+		}
+		r := ns / want
+		verdict := "ok  "
+		if r > ratio {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-40s %12.0f ns/op  baseline %12.0f  ratio %.2fx (limit %.1fx)\n",
+			verdict, name, ns, want, r, ratio)
+	}
+	if failed {
+		fmt.Println("benchcheck: latency regression (or missing benchmark) vs BENCH_BASELINE.json")
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all benchmarks within budget")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,150 @@
+package unbundled_test
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestE2ETCPKillRestart is the cross-process acceptance test, the local
+// twin of the CI e2e job: build the real binaries, run a TC process
+// against a DC process over real TCP, SIGKILL the DC mid-workload,
+// restart it on the same address and data dir, and require that every
+// committed transaction's writes survive and the TC rode the outage out
+// on its own (resend + redial + automatic redo replay — no manual
+// intervention).
+//
+// Skipped under -short (it builds binaries and runs for seconds) and on
+// Windows (no SIGKILL).
+func TestE2ETCPKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e: skipped in -short mode")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("e2e: SIGKILL semantics are POSIX-only")
+	}
+
+	bin := t.TempDir()
+	dcBin := filepath.Join(bin, "unbundled-dc")
+	tcBin := filepath.Join(bin, "unbundled-tc")
+	for path, pkg := range map[string]string{dcBin: "./cmd/unbundled-dc", tcBin: "./cmd/unbundled-tc"} {
+		cmd := exec.Command("go", "build", "-o", path, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	dataDir := filepath.Join(t.TempDir(), "dc0")
+	startDC := func(listen string) (*exec.Cmd, string) {
+		t.Helper()
+		cmd := exec.Command(dcBin, "-listen", listen, "-tables", "kv", "-dir", dataDir)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+		// Readiness line: "unbundled-dc: <name> listening on <addr> ...".
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			for i, f := range fields {
+				if f == "on" && i+1 < len(fields) {
+					go io.Copy(io.Discard, out) // keep the pipe drained
+					return cmd, fields[i+1]
+				}
+			}
+		}
+		t.Fatalf("unbundled-dc produced no listening line (scanner err: %v)", sc.Err())
+		return nil, ""
+	}
+
+	dc1, addr := startDC("127.0.0.1:0")
+
+	const totalTxns = 5000
+	tc := exec.Command(tcBin,
+		"-dcs", addr, "-txns", fmt.Sprint(totalTxns), "-ops", "4",
+		"-checkpoint-every", "500", "-progress-every", "100", "-verify")
+	tcOut, err := tc.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.Stderr = os.Stderr
+	if err := tc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tc.Process.Kill() })
+
+	var mu sync.Mutex
+	var output bytes.Buffer
+	progressed := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(tcOut)
+		signalled := false
+		for sc.Scan() {
+			line := sc.Text()
+			mu.Lock()
+			output.WriteString(line + "\n")
+			mu.Unlock()
+			if !signalled && strings.Contains(line, "committed 300/") {
+				close(progressed)
+				signalled = true
+			}
+		}
+		if !signalled {
+			close(progressed)
+		}
+	}()
+
+	// Kill -9 the DC once the workload is demonstrably mid-stream.
+	select {
+	case <-progressed:
+	case <-time.After(60 * time.Second):
+		t.Fatal("workload made no progress")
+	}
+	if err := dc1.Process.Kill(); err != nil { // SIGKILL
+		t.Fatalf("kill dc: %v", err)
+	}
+	dc1.Wait()
+	time.Sleep(300 * time.Millisecond) // let the outage bite mid-stream
+	startDC(addr)                      // same address, same data dir
+
+	done := make(chan error, 1)
+	go func() { done <- tc.Wait() }()
+	select {
+	case err := <-done:
+		mu.Lock()
+		out := output.String()
+		mu.Unlock()
+		if err != nil {
+			t.Fatalf("unbundled-tc failed: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "VERIFY OK") {
+			t.Fatalf("no VERIFY OK in output:\n%s", out)
+		}
+		if m := regexp.MustCompile(`reconnects=(\d+)`).FindStringSubmatch(out); m == nil || m[1] == "0" {
+			t.Fatalf("TC reports no reconnect after the DC restart:\n%s", out)
+		}
+		if m := regexp.MustCompile(`resends=(\d+)`).FindStringSubmatch(out); m == nil || m[1] == "0" {
+			t.Fatalf("TC reports no resends despite a mid-stream kill:\n%s", out)
+		}
+	case <-time.After(120 * time.Second):
+		mu.Lock()
+		out := output.String()
+		mu.Unlock()
+		t.Fatalf("unbundled-tc did not finish after the DC restart; output so far:\n%s", out)
+	}
+}

@@ -34,6 +34,19 @@ type Options struct {
 	// Network, when non-nil, interposes the wire fabric between every TC
 	// and DC; nil wires them with direct in-process calls.
 	Network *wire.Config
+	// DCAddrs connects the deployment to data components already running
+	// in other OS processes (cmd/unbundled-dc) over real TCP instead of
+	// building in-process DCs: entry i is the listen address of DC index
+	// i, and len(DCAddrs) is the DC count. With DCAddrs set, DCs,
+	// DCConfig, Tables, and Network are ignored — the DC process owns its
+	// own configuration and tables — and Deployment.DCs stays empty:
+	// remote DCs crash by being killed and recover by being restarted,
+	// and the deployment reacts to a re-established connection by
+	// replaying the TC's redo stream automatically (§5.3.2 "DC Failure").
+	DCAddrs []string
+	// DialConfig shapes the TCP connections of a DCAddrs deployment
+	// (resend pacing, redial backoff). The zero value uses defaults.
+	DialConfig wire.DialConfig
 }
 
 // Deployment is a running unbundled kernel.
@@ -50,6 +63,7 @@ type Deployment struct {
 	clientOnce sync.Once
 	client     *Client
 	closeOnce  sync.Once
+	closeCh    chan struct{}
 }
 
 // New builds and starts a deployment.
@@ -63,7 +77,10 @@ func New(opts Options) (*Deployment, error) {
 	if opts.Route == nil {
 		opts.Route = func(string, string) int { return 0 }
 	}
-	d := &Deployment{route: opts.Route}
+	if len(opts.DCAddrs) > 0 {
+		return newRemote(opts)
+	}
+	d := &Deployment{route: opts.Route, closeCh: make(chan struct{})}
 	for i := 0; i < opts.DCs; i++ {
 		cfg := dc.Config{}
 		if opts.DCConfig != nil {
@@ -127,6 +144,7 @@ func (d *Deployment) Route(table, key string) int { return d.route(table, key) }
 // second Close is a no-op, and closing twice never panics or hangs.
 func (d *Deployment) Close() {
 	d.closeOnce.Do(func() {
+		close(d.closeCh)
 		for _, t := range d.TCs {
 			t.Close()
 		}
@@ -147,8 +165,14 @@ func (d *Deployment) Close() {
 }
 
 // CrashDC fails data component i: its cache and volatile state are lost;
-// while down it answers nothing.
+// while down it answers nothing. In-process DCs only — a remote DC
+// (Options.DCAddrs) is crashed by killing its process, and calling this
+// instead panics: silently skipping would let a test believe it injected
+// an outage that never happened.
 func (d *Deployment) CrashDC(i int) {
+	if i >= len(d.DCs) {
+		panic(fmt.Sprintf("core: CrashDC(%d): DC is remote; kill its process instead", i))
+	}
 	for ti := range d.servers {
 		if d.servers[ti][i] != nil {
 			d.servers[ti][i].SetDown(true)
@@ -161,6 +185,9 @@ func (d *Deployment) CrashDC(i int) {
 // well-formed), then every TC is prompted to resend its redo stream from
 // its redo scan start point (§4.2.1 restart, §5.3.2 "DC Failure").
 func (d *Deployment) RecoverDC(i int) error {
+	if i >= len(d.DCs) {
+		return fmt.Errorf("core: DC %d is remote; restart its process instead", i)
+	}
 	if err := d.DCs[i].Recover(); err != nil {
 		return err
 	}

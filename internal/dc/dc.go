@@ -16,6 +16,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,13 @@ type Config struct {
 	// CheckConflicts enables the debug invariant that no two conflicting
 	// operations execute concurrently (the TC's obligation, §1.2).
 	CheckConflicts bool
+	// Dir, when nonempty, backs the DC's stable media (page store and
+	// DC-log) with that filesystem directory so they survive process death
+	// — what a standalone cmd/unbundled-dc needs to honor checkpoint
+	// contracts across kill -9. Empty keeps the in-memory simulated media.
+	// Reopening a directory a previous incarnation wrote runs DC-log
+	// recovery before serving (the TC then resends its redo stream).
+	Dir string
 }
 
 // Stats counts DC activity.
@@ -124,7 +132,10 @@ type DC struct {
 	resetPages, restoredRecs, conVios atomic.Uint64
 }
 
-// New formats (or re-opens) a DC over fresh stable media.
+// New formats a DC over fresh stable media — or, with Config.Dir naming a
+// directory a previous incarnation wrote, re-opens it: the stable pages
+// and DC-log are loaded back and DC-log recovery rebuilds the search
+// structures before the DC serves anything.
 func New(cfg Config) (*DC, error) {
 	if cfg.PageBytes <= 0 {
 		cfg.PageBytes = 4096
@@ -137,6 +148,15 @@ func New(cfg Config) (*DC, error) {
 		pageTable: make(map[base.PageID]string),
 		tcs:       make(map[base.TCID]*tcState),
 	}
+	if cfg.Dir != "" {
+		var err error
+		if d.store, err = storage.OpenPageStoreDir(filepath.Join(cfg.Dir, "pages")); err != nil {
+			return nil, fmt.Errorf("dc %s: open page dir: %w", cfg.Name, err)
+		}
+		if d.dmedia, err = storage.OpenLogStoreFile(filepath.Join(cfg.Dir, "dclog")); err != nil {
+			return nil, fmt.Errorf("dc %s: open dc-log: %w", cfg.Name, err)
+		}
+	}
 	if cfg.CheckConflicts {
 		d.inflight = newConflictTable()
 	}
@@ -145,8 +165,23 @@ func New(cfg Config) (*DC, error) {
 	if err != nil {
 		return nil, err
 	}
+	if d.store.Exists(catalogPageID) {
+		// Re-open: a process death is a DC crash whose stable media
+		// happen to be on disk, so restart runs the ordinary §5.3.2
+		// recovery — replay the DC-log, reopen the trees from the catalog.
+		d.state = stateDown
+		if err := d.Recover(); err != nil {
+			return nil, fmt.Errorf("dc %s: reopen %s: %w", cfg.Name, cfg.Dir, err)
+		}
+		return d, nil
+	}
 	d.pool = d.newPool()
-	// Format: the catalog page is the first allocation.
+	// Format: the catalog page is the first allocation. A kill on a
+	// previous boot can leave a persisted allocator with no catalog page
+	// (AllocPageID is durable before the catalog write lands); formatting
+	// starts the world over, so the stale allocator is discarded rather
+	// than bricking the directory.
+	d.store.ResetForFormat()
 	id := d.store.AllocPageID()
 	if id != catalogPageID {
 		return nil, fmt.Errorf("dc %s: catalog got page %d", cfg.Name, id)

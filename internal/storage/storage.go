@@ -9,6 +9,7 @@ package storage
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,9 @@ type PageStore struct {
 	mu     sync.RWMutex
 	pages  map[base.PageID][]byte
 	nextID uint32 // persisted allocator; see AllocPageID
+	// dir, when nonempty, write-through-backs the store with one file per
+	// page so stable contents survive process death (see disk.go).
+	dir string
 
 	// WriteDelay simulates media latency per page write (0 = none).
 	WriteDelay time.Duration
@@ -54,6 +58,7 @@ func (s *PageStore) AllocPageID() base.PageID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
+	s.persistAlloc(s.nextID)
 	return base.PageID(s.nextID)
 }
 
@@ -81,6 +86,7 @@ func (s *PageStore) Write(id base.PageID, data []byte) {
 	copy(cp, data)
 	s.mu.Lock()
 	s.pages[id] = cp
+	s.persistWrite(id, cp)
 	s.mu.Unlock()
 	s.writes.Add(1)
 	s.bytesWritten.Add(uint64(len(data)))
@@ -119,6 +125,7 @@ func (s *PageStore) Exists(id base.PageID) bool {
 func (s *PageStore) Free(id base.PageID) {
 	s.mu.Lock()
 	delete(s.pages, id)
+	s.persistFree(id)
 	s.mu.Unlock()
 	s.frees.Add(1)
 }
@@ -160,9 +167,18 @@ type LogStore struct {
 	stable  [][]byte // records [0, forced)
 	tail    [][]byte // records [forced, end)
 	start   uint64   // logical index of stable[0] after truncation
+	bound   uint64   // owner-supplied watermark surviving full truncation
 	forces  atomic.Uint64
 	appends atomic.Uint64
 	bytes   atomic.Uint64
+	// path/file, when set, back the stable half with an append-mostly
+	// fsynced file so forced records survive process death (see disk.go).
+	// fmu serializes the file I/O itself, which runs *outside* mu so the
+	// documented group-commit concurrency (appends proceed while a force
+	// is in flight) holds for disk-backed logs too.
+	path string
+	file *os.File
+	fmu  sync.Mutex
 
 	// ForceDelay simulates the latency of a stable force (fsync). While a
 	// force sleeps the store mutex is NOT held, so concurrent appends
@@ -187,16 +203,28 @@ func (l *LogStore) Append(rec []byte) uint64 {
 }
 
 // Force makes every appended record stable and returns the first
-// un-appended index (i.e. records < that index are stable).
+// un-appended index (i.e. records < that index are stable). On a
+// disk-backed store the file append+fsync runs under fmu but outside mu,
+// so concurrent Appends proceed during the (slow) media write; records
+// appended mid-force stay volatile until the next force.
 func (l *LogStore) Force() uint64 {
 	if l.ForceDelay > 0 {
 		time.Sleep(l.ForceDelay)
 	}
+	l.fmu.Lock()
+	l.mu.Lock()
+	n := len(l.tail)
+	pending := l.tail[:n:n] // records are immutable once appended
+	l.mu.Unlock()
+	if n > 0 {
+		l.persistForce(pending) // file I/O outside mu, serialized by fmu
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(l.tail) > 0 {
-		l.stable = append(l.stable, l.tail...)
-		l.tail = nil
+	defer l.fmu.Unlock()
+	if n > 0 {
+		l.stable = append(l.stable, l.tail[:n]...)
+		l.tail = append([][]byte(nil), l.tail[n:]...)
 	}
 	l.forces.Add(1)
 	return l.start + uint64(len(l.stable))
@@ -216,8 +244,12 @@ func (l *LogStore) End() uint64 {
 	return l.start + uint64(len(l.stable)+len(l.tail))
 }
 
-// Crash discards the volatile tail, leaving only forced records.
+// Crash discards the volatile tail, leaving only forced records. A force
+// in flight completes first (its records were handed to the media; they
+// are stable).
 func (l *LogStore) Crash() {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
 	l.mu.Lock()
 	l.tail = nil
 	l.mu.Unlock()
@@ -247,19 +279,49 @@ func (l *LogStore) Scan(from uint64) [][]byte {
 
 // Truncate durably discards stable records with index < before. Volatile
 // records are unaffected. Truncating beyond the stable end panics: the
-// caller must only release what the checkpoint contract allows.
+// caller must only release what the checkpoint contract allows. The
+// backing-file rewrite runs outside mu (under fmu), so readers and
+// appenders are not blocked behind the media I/O.
 func (l *LogStore) Truncate(before uint64) {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if before <= l.start {
+		l.mu.Unlock()
 		return
 	}
 	n := before - l.start
 	if n > uint64(len(l.stable)) {
-		panic(fmt.Sprintf("storage: truncate(%d) beyond stable end %d", before, l.start+uint64(len(l.stable))))
+		end := l.start + uint64(len(l.stable))
+		l.mu.Unlock()
+		panic(fmt.Sprintf("storage: truncate(%d) beyond stable end %d", before, end))
 	}
 	l.stable = append([][]byte(nil), l.stable[n:]...)
 	l.start = before
+	img := l.imageLocked()
+	l.mu.Unlock()
+	l.persistTruncate(img)
+}
+
+// SetBound durably records an owner-supplied watermark (the wal layer's
+// highest-truncated LSN) that must survive even when truncation empties
+// the log: a reopened store with zero records must still know how far the
+// LSN space was consumed, or a new incarnation would re-allocate LSNs the
+// stable pages already reference. Call before Truncate; the bound rides
+// the truncation rewrite into the file header.
+func (l *LogStore) SetBound(bound uint64) {
+	l.mu.Lock()
+	if bound > l.bound {
+		l.bound = bound
+	}
+	l.mu.Unlock()
+}
+
+// Bound returns the highest bound ever set (0 if none).
+func (l *LogStore) Bound() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bound
 }
 
 // Start returns the logical index of the first retained record.

@@ -119,6 +119,20 @@ func New(media *storage.LogStore) (*Log, error) {
 	} else {
 		l.next = 1
 	}
+	// Truncation may have discarded every record (after a quiescent
+	// checkpoint the log is legitimately empty), but the LSN space it
+	// consumed is still referenced by stable state elsewhere (page dLSN
+	// stamps, abstract LSNs). The media remembers the highest truncated
+	// LSN; allocation must resume above it or idempotence tests would
+	// mistake new records for already-applied old ones.
+	if b := base.LSN(media.Bound()); b > l.forced {
+		l.bound = b
+		l.forced = b
+		l.last = b
+		l.next = b + 1
+	} else {
+		l.bound = base.LSN(media.Bound())
+	}
 	return l, nil
 }
 
@@ -271,6 +285,10 @@ func (l *Log) Truncate(before base.LSN) {
 	if last := l.recs[i-1].LSN; last > l.bound {
 		l.bound = last
 	}
+	// Persist the bound with the truncation: a disk-backed media whose
+	// records are all discarded must still hand the next incarnation the
+	// consumed LSN space (see storage.LogStore.SetBound).
+	l.media.SetBound(uint64(l.bound))
 	l.media.Truncate(l.media.Start() + uint64(i))
 	l.recs = append([]*Record(nil), l.recs[i:]...)
 }

@@ -1,0 +1,428 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cidr09/unbundled/internal/base"
+)
+
+// The TCP transport: the same TC:DC protocol the simulated fabric carries,
+// over real sockets between real OS processes. A Listener serves a
+// base.Service (a DC); Dial returns the shared Client stub over a
+// supervised connection. TCP gives in-order delivery per connection, but
+// the process boundary restores every failure mode the simulator injects:
+// a killed DC drops requests (loss), a redial re-delivers what was already
+// executed (duplication), and replies race reconnects (reordering across
+// connections). The client's resend loop plus DC idempotence absorb all of
+// it — the protocol does not trust the transport.
+
+// Listener serves a base.Service on a TCP address. Each inbound connection
+// gets its own reader; Perform/PerformBatch and control requests execute
+// in their own goroutines (the paper's multi-threaded DC) and replies are
+// written back on the connection the request arrived on.
+type Listener struct {
+	ln  net.Listener
+	svc base.Service
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Listen starts serving svc on addr (e.g. "127.0.0.1:7070"; ":0" picks a
+// free port — read it back with Addr).
+func Listen(addr string, svc base.Service) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Listener{ln: ln, svc: svc, conns: make(map[net.Conn]struct{})}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound listen address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting, closes every open connection, and waits for the
+// connection readers *and* all in-flight request handlers to drain: after
+// Close returns, the wrapped service receives no further invocations from
+// this listener. In-flight operations complete at the service; only their
+// replies are lost — exactly what the client's resend contract is for.
+// The full quiesce is what lets a test or example re-open a disk-backed
+// DC's directory after Close without racing the old incarnation's writes.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	l.wg.Wait()
+	return err
+}
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go l.serveConn(conn)
+	}
+}
+
+func (l *Listener) serveConn(conn net.Conn) {
+	defer l.wg.Done()
+	sc := &srvConn{conn: conn, bw: bufio.NewWriter(conn)}
+	br := bufio.NewReader(conn)
+	for {
+		m, err := readStreamFrame(br)
+		if err != nil {
+			break // connection gone or stream corrupt; client redials
+		}
+		l.handle(sc, m)
+	}
+	conn.Close()
+	l.mu.Lock()
+	delete(l.conns, conn)
+	l.mu.Unlock()
+}
+
+// handle dispatches one inbound frame, mirroring the simulated Server.run:
+// watermarks apply inline, everything that replies runs in its own
+// goroutine so a slow operation (a page-sync barrier, a recovery sweep)
+// never head-of-line-blocks the connection. Handler goroutines join the
+// listener's WaitGroup (the spawn happens on the reader goroutine, whose
+// own wg slot is still held, so the Add never races Close's Wait) — Close
+// drains them before returning.
+func (l *Listener) handle(sc *srvConn, m *message) {
+	spawn := func(f func()) {
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			f()
+		}()
+	}
+	switch m.kind {
+	case msgPerform:
+		spawn(func() {
+			op, _, err := base.DecodeOp(m.body)
+			if err != nil {
+				sc.reply(&message{kind: msgReply, id: m.id, err: err.Error()})
+				return
+			}
+			res := l.svc.Perform(context.Background(), op)
+			sc.reply(&message{kind: msgReply, id: m.id, body: base.AppendResult(getReplyBuf(), res)})
+		})
+	case msgPerformBatch:
+		spawn(func() {
+			ops, _, err := base.DecodeOpBatch(m.body)
+			if err != nil {
+				sc.reply(&message{kind: msgReply, id: m.id, err: err.Error()})
+				return
+			}
+			rs := l.svc.PerformBatch(context.Background(), ops)
+			sc.reply(&message{kind: msgReply, id: m.id, body: base.AppendResultBatch(getReplyBuf(), rs)})
+		})
+	case msgEOSL:
+		l.svc.EndOfStableLog(m.tc, m.epoch, m.lsn)
+	case msgLWM:
+		l.svc.LowWaterMark(m.tc, m.epoch, m.lsn)
+	case msgCheckpoint:
+		spawn(func() {
+			sc.control(m, func() error { return l.svc.Checkpoint(context.Background(), m.tc, m.epoch, m.lsn) })
+		})
+	case msgBeginRestart:
+		spawn(func() {
+			sc.control(m, func() error { return l.svc.BeginRestart(context.Background(), m.tc, m.epoch, m.lsn) })
+		})
+	case msgEndRestart:
+		spawn(func() { sc.control(m, func() error { return l.svc.EndRestart(context.Background(), m.tc, m.epoch) }) })
+	}
+}
+
+// srvConn serializes reply writes onto one accepted connection.
+type srvConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	buf  []byte
+}
+
+// writeTimeout bounds one frame write. A peer that stops reading (wedged,
+// half-dead network) would otherwise block the writer while it holds the
+// connection's write lock; timing out turns that into an ordinary
+// connection failure the resend/redial machinery already handles.
+const writeTimeout = 5 * time.Second
+
+func (sc *srvConn) reply(m *message) {
+	sc.wmu.Lock()
+	sc.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	buf, err := writeFrame(sc.bw, sc.buf, m)
+	sc.buf = buf
+	if err == nil {
+		err = sc.bw.Flush()
+	}
+	sc.wmu.Unlock()
+	putReplyBuf(m.body)
+	if err != nil {
+		// The connection died mid-reply: drop it. The request executed; the
+		// client's resend re-asks and idempotence answers from state.
+		sc.conn.Close()
+	}
+}
+
+func (sc *srvConn) control(m *message, f func() error) {
+	var errStr string
+	if err := f(); err != nil {
+		errStr = err.Error()
+	}
+	sc.reply(&message{kind: msgReply, id: m.id, err: errStr})
+}
+
+// DialConfig shapes a dialed connection.
+type DialConfig struct {
+	// ResendAfter is how long the client waits for a reply before
+	// resending (default 25ms). TCP rarely loses frames on a healthy
+	// connection, so this mostly paces retries across DC outages.
+	ResendAfter time.Duration
+	// RedialBackoff is the initial pause between failed connection
+	// attempts, doubling up to a 1s cap (default 10ms).
+	RedialBackoff time.Duration
+	// ConnectTimeout bounds one TCP connect attempt (default 2s).
+	ConnectTimeout time.Duration
+}
+
+func (c DialConfig) withDefaults() DialConfig {
+	if c.ResendAfter <= 0 {
+		c.ResendAfter = 25 * time.Millisecond
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 10 * time.Millisecond
+	}
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Dial returns a Client speaking the TC:DC protocol to the Listener at
+// addr. The connection is supervised in the background: it is established
+// (and re-established) with capped-backoff redial, so Dial itself never
+// blocks and a DC that is down, restarting, or not yet started simply
+// looks slow — the client's resend loop rides out the gap. Close the
+// client to stop the supervisor.
+func Dial(addr string, cfg DialConfig) *Client {
+	cfg = cfg.withDefaults()
+	link := &tcpLink{addr: addr, cfg: cfg, ready: make(chan struct{})}
+	cl := newClient(link.send, func() time.Duration { return cfg.ResendAfter })
+	cl.link = link
+	cl.teardown = link.shutdown
+	link.cl = cl
+	go link.run()
+	return cl
+}
+
+// tcpLink supervises one client connection: dial with backoff, pump
+// replies, redial on failure, and tell the session observer (the
+// deployment layer) about re-established sessions so it can trigger the
+// §5.3.2 DC-recovery resend.
+type tcpLink struct {
+	addr string
+	cfg  DialConfig
+	cl   *Client
+
+	mu       sync.Mutex
+	conn     net.Conn
+	bw       *bufio.Writer
+	buf      []byte
+	ready    chan struct{} // closed while a connection is established
+	shutOnce sync.Once
+	shut     chan struct{}
+
+	sessions    atomic.Uint64
+	onReconnect atomic.Pointer[func()]
+}
+
+func (ln *tcpLink) shutdown() {
+	ln.shutOnce.Do(func() {
+		ln.mu.Lock()
+		if ln.shut == nil {
+			ln.shut = make(chan struct{})
+		}
+		close(ln.shut)
+		if ln.conn != nil {
+			ln.conn.Close()
+		}
+		ln.mu.Unlock()
+	})
+}
+
+func (ln *tcpLink) closed() <-chan struct{} {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if ln.shut == nil {
+		ln.shut = make(chan struct{})
+	}
+	return ln.shut
+}
+
+func (ln *tcpLink) run() {
+	backoff := ln.cfg.RedialBackoff
+	shut := ln.closed()
+	for {
+		select {
+		case <-shut:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", ln.addr, ln.cfg.ConnectTimeout)
+		if err != nil {
+			select {
+			case <-shut:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = ln.cfg.RedialBackoff
+		ln.mu.Lock()
+		select {
+		case <-shut:
+			ln.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		ln.conn = conn
+		ln.bw = bufio.NewWriter(conn)
+		close(ln.ready)
+		ln.mu.Unlock()
+		if n := ln.sessions.Add(1); n > 1 {
+			// A re-established session: the DC process may have restarted
+			// with volatile state lost. The observer (core.Deployment) reacts
+			// by replaying the redo stream; it must run outside this
+			// goroutine, which is about to become the reply pump the redo's
+			// own calls depend on.
+			if f := ln.onReconnect.Load(); f != nil {
+				go (*f)()
+			}
+		}
+		br := bufio.NewReader(conn)
+		for {
+			m, err := readStreamFrame(br)
+			if err != nil {
+				break
+			}
+			ln.cl.dispatch(m)
+		}
+		ln.mu.Lock()
+		if ln.conn == conn {
+			ln.conn = nil
+			ln.bw = nil
+			ln.ready = make(chan struct{})
+		}
+		ln.mu.Unlock()
+		conn.Close()
+	}
+}
+
+// send writes one frame to the current connection. With no connection (or
+// on a write error) the message is dropped — the resend loop recovers, so
+// loss here is no different from loss on the simulated fabric.
+func (ln *tcpLink) send(m *message) {
+	ln.mu.Lock()
+	conn, bw := ln.conn, ln.bw
+	if conn == nil {
+		ln.mu.Unlock()
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	buf, err := writeFrame(bw, ln.buf, m)
+	ln.buf = buf
+	if err == nil {
+		err = bw.Flush()
+	}
+	ln.mu.Unlock()
+	if err != nil {
+		conn.Close() // unblocks the reader; the supervisor redials
+	}
+}
+
+// Reconnects reports how many times the supervised connection was
+// re-established after the first session — each one a DC outage the
+// resend path rode out.
+func (c *Client) Reconnects() uint64 {
+	if c.link == nil {
+		return 0
+	}
+	if n := c.link.sessions.Load(); n > 1 {
+		return n - 1
+	}
+	return 0
+}
+
+// OnReconnect registers f to run (in its own goroutine) every time the
+// supervised connection is re-established after the first session. The
+// deployment layer uses it to replay the TC's redo stream to a restarted
+// DC (§5.3.2 "DC Failure") without any manual intervention. No-op on the
+// simulated transport, whose outages are driven explicitly by tests.
+func (c *Client) OnReconnect(f func()) {
+	if c.link != nil {
+		c.link.onReconnect.Store(&f)
+	}
+}
+
+// WaitConnected blocks until the supervised connection is established or
+// ctx is done. The simulated transport is always "connected".
+func (c *Client) WaitConnected(ctx context.Context) error {
+	if c.link == nil {
+		return nil
+	}
+	for {
+		c.link.mu.Lock()
+		conn, ready := c.link.conn, c.link.ready
+		c.link.mu.Unlock()
+		if conn != nil {
+			return nil
+		}
+		select {
+		case <-ready:
+		case <-ctx.Done():
+			return base.CancelErr(ctx)
+		case <-c.closeCh:
+			return base.ErrUnavailable
+		}
+	}
+}

@@ -1,10 +1,20 @@
-// Package wire is the asynchronous message fabric between TCs and DCs —
-// the substitute for a cloud RPC stack (DESIGN.md §3). It deliberately
+// Package wire carries the TC:DC message protocol over two transports.
+//
+// The simulated fabric (Network, Connect) is the substitute for a cloud
+// RPC stack used by tests and experiments (DESIGN.md §3). It deliberately
 // misbehaves: configurable one-way delay and jitter (which reorders
-// deliveries), message loss, and duplication. The client stub implements
-// base.Service by resending requests until acknowledged (§4.2 "Resend
-// Requests"); together with DC idempotence this yields exactly-once
-// execution of logical operations over an at-most-once network.
+// deliveries), message loss, and duplication — the chaos half of the
+// package.
+//
+// The TCP transport (Listen, Dial) is the deployment half: it serves a
+// base.Service — a DC — on a real socket and dials it from another OS
+// process, with automatic redial when the peer restarts. Both transports
+// share one frame codec (codec.go) and one client stub (Client, in
+// client.go) implementing base.Service by resending requests until
+// acknowledged (§4.2 "Resend Requests"); together with DC idempotence this
+// yields exactly-once execution of logical operations over an
+// at-most-once network — whether the misbehaviour is injected by the
+// simulator or by real processes crashing mid-stream.
 //
 // Operations and results cross the wire in their binary encodings, so the
 // serialization cost the paper's unbundling implies is actually paid.
@@ -15,7 +25,6 @@ package wire
 
 import (
 	"context"
-	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -200,11 +209,26 @@ func (n *Network) Connect(svc base.Service) (*Client, *Server) {
 	toServer := n.newEndpoint()
 	toClient := n.newEndpoint()
 	srv := &Server{net: n, svc: svc, in: toServer, out: toClient}
-	cl := &Client{net: n, in: toClient, out: toServer,
-		waiters: make(map[uint64]chan *message)}
+	cl := newClient(func(m *message) { n.deliver(toServer, m) }, n.cfg.resendAfter)
+	cl.onResend = func() { n.resends.Add(1) }
+	cl.simIn = toClient
+	cl.teardown = toClient.shutdown
 	go srv.run()
-	go cl.run()
+	go cl.pumpSim(toClient)
 	return cl, srv
+}
+
+// pumpSim feeds replies delivered by the simulated fabric into the shared
+// dispatch path until the client's inbound endpoint shuts down.
+func (c *Client) pumpSim(in *endpoint) {
+	for {
+		select {
+		case <-in.close:
+			return
+		case m := <-in.inbox:
+			c.dispatch(m)
+		}
+	}
 }
 
 // Server pumps inbound messages into the wrapped service.
@@ -298,256 +322,4 @@ func (s *Server) control(m *message, f func() error) {
 		errStr = err.Error()
 	}
 	s.net.deliver(s.out, &message{kind: msgReply, id: m.id, err: errStr})
-}
-
-// Client is the TC-side stub implementing base.Service over the network.
-type Client struct {
-	net *Network
-	in  *endpoint
-	out *endpoint
-
-	mu      sync.Mutex
-	waiters map[uint64]chan *message
-	nextID  atomic.Uint64
-}
-
-// Close stops the client pump and fails outstanding calls: every blocked
-// Perform/PerformBatch caller — whether waiting on a reply, mid-resend, or
-// pausing out a recovering DC — unblocks promptly with CodeUnavailable,
-// and blocked control calls return an error.
-func (c *Client) Close() {
-	c.in.shutdown()
-}
-
-// SetDown marks the client (TC process) up or down; a down client drops
-// inbound replies, as a crashed TC would.
-func (c *Client) SetDown(down bool) { c.in.down.Store(down) }
-
-// Closed reports whether Close has been called. Callers with their own
-// retry loops (the TC's pipelines) use it to stop resending through a
-// stub whose every reply will be CodeUnavailable.
-func (c *Client) Closed() bool {
-	select {
-	case <-c.in.close:
-		return true
-	default:
-		return false
-	}
-}
-
-func (c *Client) run() {
-	for {
-		select {
-		case <-c.in.close:
-			return
-		case m := <-c.in.inbox:
-			if m.kind != msgReply {
-				continue
-			}
-			c.mu.Lock()
-			ch := c.waiters[m.id]
-			c.mu.Unlock()
-			if ch != nil {
-				select {
-				case ch <- m:
-				default: // duplicate reply for an already-answered attempt
-				}
-			}
-		}
-	}
-}
-
-// call sends m (with a fresh correlation id per attempt) and resends until
-// a reply arrives, the client is closed, or ctx is done (the returned
-// error is then the ErrCancelled-wrapped ctx error). Cancellation abandons
-// only the wait: attempts already delivered may still execute at the DC.
-func (c *Client) call(ctx context.Context, kind msgKind, tc base.TCID, epoch base.Epoch, lsn base.LSN, body []byte) (*message, error) {
-	resend := c.net.cfg.resendAfter()
-	attempt := 0
-	for {
-		id := c.nextID.Add(1)
-		ch := make(chan *message, 1)
-		c.mu.Lock()
-		c.waiters[id] = ch
-		c.mu.Unlock()
-		c.net.deliver(c.out, &message{kind: kind, id: id, tc: tc, epoch: epoch, lsn: lsn, body: body})
-		if attempt > 0 {
-			c.net.resends.Add(1)
-		}
-		timer := time.NewTimer(resend)
-		select {
-		case reply := <-ch:
-			timer.Stop()
-			c.mu.Lock()
-			delete(c.waiters, id)
-			c.mu.Unlock()
-			return reply, nil
-		case <-timer.C:
-			c.mu.Lock()
-			delete(c.waiters, id)
-			c.mu.Unlock()
-			attempt++
-			// Exponential-ish backoff, capped: persistent resend per §4.2.
-			if attempt > 4 && resend < time.Second {
-				resend *= 2
-			}
-		case <-ctx.Done():
-			timer.Stop()
-			c.mu.Lock()
-			delete(c.waiters, id)
-			c.mu.Unlock()
-			return nil, base.CancelErr(ctx)
-		case <-c.in.close:
-			timer.Stop()
-			return &message{kind: msgReply, err: closedErrText}, nil
-		}
-	}
-}
-
-// closedErrText names the taxonomy sentinel so controlErr rehydrates a
-// closed-stub failure as base.ErrUnavailable.
-var closedErrText = "wire: client closed: " + base.ErrUnavailable.Error()
-
-// Perform implements base.Service. It blocks, resending, until the DC
-// acknowledges — exactly-once courtesy of unique request IDs (op.LSN) and
-// DC idempotence — or until ctx is done (CodeCancelled).
-func (c *Client) Perform(ctx context.Context, op *base.Op) *base.Result {
-	body := base.AppendOp(nil, op)
-	for {
-		reply, err := c.call(ctx, msgPerform, op.TC, op.Epoch, op.LSN, body)
-		if err != nil {
-			return &base.Result{LSN: op.LSN, Code: base.CodeCancelled}
-		}
-		if reply.err != "" {
-			return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
-		}
-		res, _, derr := base.DecodeResult(reply.body)
-		putReplyBuf(reply.body)
-		if derr != nil {
-			return &base.Result{LSN: op.LSN, Code: base.CodeBadRequest}
-		}
-		// CodeStaleEpoch is a permanent nack (the sender's incarnation was
-		// fenced by a restart): returned as-is, never retried.
-		if res.Code == base.CodeUnavailable {
-			// DC up but still recovering; retry after a pause (which a
-			// concurrent Close or cancellation cuts short).
-			if code := c.pause(ctx); code != base.CodeOK {
-				return &base.Result{LSN: op.LSN, Code: code}
-			}
-			continue
-		}
-		return res
-	}
-}
-
-// PerformBatch implements base.Service: one message carries the whole
-// batch, one reply carries the per-operation results. A reply containing
-// any CodeUnavailable result (the DC was down or recovering) triggers a
-// resend of the whole batch — per-operation idempotence absorbs the
-// re-execution of operations that did land.
-func (c *Client) PerformBatch(ctx context.Context, ops []*base.Op) []*base.Result {
-	if len(ops) == 1 {
-		return []*base.Result{c.Perform(ctx, ops[0])}
-	}
-	body := base.AppendOpBatch(nil, ops)
-	fail := func(code base.Code) []*base.Result {
-		rs := make([]*base.Result, len(ops))
-		for i, op := range ops {
-			rs[i] = &base.Result{LSN: op.LSN, Code: code}
-		}
-		return rs
-	}
-	for {
-		reply, err := c.call(ctx, msgPerformBatch, ops[0].TC, ops[0].Epoch, ops[0].LSN, body)
-		if err != nil {
-			return fail(base.CodeCancelled)
-		}
-		if reply.err != "" {
-			return fail(base.CodeUnavailable)
-		}
-		rs, derr := decodeBatchReply(reply.body, len(ops))
-		if derr != nil {
-			return fail(base.CodeBadRequest)
-		}
-		unavailable := false
-		for _, r := range rs {
-			if r.Code == base.CodeUnavailable {
-				unavailable = true
-				break
-			}
-		}
-		if !unavailable {
-			return rs
-		}
-		if code := c.pause(ctx); code != base.CodeOK {
-			return fail(code)
-		}
-	}
-}
-
-func decodeBatchReply(body []byte, want int) ([]*base.Result, error) {
-	rs, _, err := base.DecodeResultBatch(body)
-	putReplyBuf(body)
-	if err != nil {
-		return nil, err
-	}
-	if len(rs) != want {
-		return nil, fmt.Errorf("wire: batch reply size %d, want %d", len(rs), want)
-	}
-	return rs, nil
-}
-
-// pause sleeps one resend interval before retrying a recovering DC. It
-// returns CodeOK to retry, CodeUnavailable when the client was closed
-// during the wait, or CodeCancelled when ctx expired first.
-func (c *Client) pause(ctx context.Context) base.Code {
-	timer := time.NewTimer(c.net.cfg.resendAfter())
-	defer timer.Stop()
-	select {
-	case <-timer.C:
-		return base.CodeOK
-	case <-ctx.Done():
-		return base.CodeCancelled
-	case <-c.in.close:
-		return base.CodeUnavailable
-	}
-}
-
-// EndOfStableLog implements base.Service as fire-and-forget; the TC
-// re-broadcasts the watermark periodically, so loss only delays pruning.
-func (c *Client) EndOfStableLog(tc base.TCID, epoch base.Epoch, eosl base.LSN) {
-	c.net.deliver(c.out, &message{kind: msgEOSL, tc: tc, epoch: epoch, lsn: eosl})
-}
-
-// LowWaterMark implements base.Service as fire-and-forget.
-func (c *Client) LowWaterMark(tc base.TCID, epoch base.Epoch, lwm base.LSN) {
-	c.net.deliver(c.out, &message{kind: msgLWM, tc: tc, epoch: epoch, lsn: lwm})
-}
-
-// Checkpoint implements base.Service with resend until acknowledged.
-func (c *Client) Checkpoint(ctx context.Context, tc base.TCID, epoch base.Epoch, newRSSP base.LSN) error {
-	return c.controlErr(c.call(ctx, msgCheckpoint, tc, epoch, newRSSP, nil))
-}
-
-// BeginRestart implements base.Service with resend until acknowledged.
-func (c *Client) BeginRestart(ctx context.Context, tc base.TCID, epoch base.Epoch, stableLSN base.LSN) error {
-	return c.controlErr(c.call(ctx, msgBeginRestart, tc, epoch, stableLSN, nil))
-}
-
-// EndRestart implements base.Service with resend until acknowledged.
-func (c *Client) EndRestart(ctx context.Context, tc base.TCID, epoch base.Epoch) error {
-	return c.controlErr(c.call(ctx, msgEndRestart, tc, epoch, 0, nil))
-}
-
-func (c *Client) controlErr(reply *message, err error) error {
-	if err != nil {
-		return err
-	}
-	if reply.err != "" {
-		// Control failures cross the wire as strings; rehydrate the typed
-		// sentinels (stale-epoch, unavailable) so errors.Is keeps working
-		// through the stub.
-		return fmt.Errorf("wire: %w", base.RehydrateWireError(reply.err))
-	}
-	return nil
 }

@@ -88,6 +88,19 @@
 // Abort drains before sending inverse operations, and scans drain for
 // read-your-writes (point reads are answered by the transaction cache).
 //
+// # Networked deployment
+//
+// The components are separately deployable OS processes: cmd/unbundled-dc
+// serves one DC on a TCP address, and a deployment built with
+// Options.DCAddrs (as cmd/unbundled-tc does) commits transactions against
+// it over real sockets. Both transports — the misbehaving simulated
+// fabric and TCP — share one wire codec and one resending client stub, so
+// exactly-once semantics are identical; a killed-and-restarted DC process
+// is detected through its re-established connection and caught up by
+// replaying the TC's redo stream automatically. With a data directory
+// (DCConfig.Dir) the DC's stable media survive process death, keeping
+// checkpoint contracts honest across kill -9.
+//
 // # Restart safety: incarnation epochs
 //
 // A restarted TC reuses the LSN space above its stable log end (§5.3.2),
@@ -142,6 +155,9 @@ type (
 	DCConfig = dc.Config
 	// NetworkConfig interposes the misbehaving message fabric.
 	NetworkConfig = wire.Config
+	// DialConfig shapes the TCP connections of a networked deployment
+	// (Options.DCAddrs pointing at cmd/unbundled-dc processes).
+	DialConfig = wire.DialConfig
 	// TC is a transactional component.
 	TC = tc.TC
 	// DC is a data component.
