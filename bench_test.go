@@ -18,6 +18,7 @@ import (
 	"github.com/cidr09/unbundled/internal/dc"
 	"github.com/cidr09/unbundled/internal/experiments"
 	"github.com/cidr09/unbundled/internal/monolith"
+	"github.com/cidr09/unbundled/internal/placement"
 	"github.com/cidr09/unbundled/internal/tc"
 	"github.com/cidr09/unbundled/internal/wire"
 	"github.com/cidr09/unbundled/internal/workload"
@@ -122,6 +123,40 @@ func pipelinedTxnBench(b *testing.B, pipeline bool) {
 func BenchmarkE1TxnUnbundledWireDelay(b *testing.B) { pipelinedTxnBench(b, false) }
 func BenchmarkE1TxnUnbundledPipelined(b *testing.B) { pipelinedTxnBench(b, true) }
 
+// BenchmarkE1TxnMultiTCPartitioned is the §6.1 scale-out topology: two
+// TCs with update ownership partitioned by key parity (owner=mod(2))
+// over two DCs, transactions routed to their owner by write intent
+// (RunTxnAt) and ownership enforced by the TCs. The benchcheck gate keeps
+// the partitioned topology's per-transaction latency honest next to the
+// single-TC E1 variants.
+func BenchmarkE1TxnMultiTCPartitioned(b *testing.B) {
+	dep, err := core.New(core.Options{TCs: 2, DCs: 2,
+		Placement: placement.MustParse("kv: dc=hash(2) owner=mod(2)")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dep.Close()
+	g := workload.KV{Keys: 4096, ReadFrac: 0.5, OpsPerTxn: 4, Seed: 1}.NewGen(0)
+	client := dep.Client()
+	// Partition p owns the keys with even/odd index: 2i+p has owner p+1.
+	key := func(part int) string { return workload.KVKey(2*g.Rand().Intn(2048) + part) }
+	kvTxnBench(b, func(i int) error {
+		part := i % 2
+		return client.RunTxnAt(context.Background(), "kv", workload.KVKey(part), core.TxnOptions{}, func(x *tc.Txn) error {
+			for j := 0; j < g.OpsPerTxn(); j++ {
+				if g.IsRead() {
+					_, _, err := x.Read("kv", key(part))
+					return err
+				}
+				if err := x.Upsert("kv", key(part), g.Value()); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+}
+
 // --- table experiments, one per figure/claim ---------------------------
 
 func tableBench(b *testing.B, run func(experiments.Scale)) {
@@ -172,16 +207,19 @@ type movieEnv struct {
 	reader core.TxnOptions
 }
 
-// ownerOpts pins a transaction to the TC owning user u (1-based TC IDs).
+// ownerOpts hints user u's partition as write intent: the client resolves
+// the owning TC from the placement (no hand-computed pin).
 func (e *movieEnv) ownerOpts(u int, versioned bool) core.TxnOptions {
-	return core.TxnOptions{TC: e.p.OwnerTC(u, 2) + 1, Versioned: versioned}
+	return core.TxnOptions{
+		WriteSet:  map[string][]string{workload.TableUsers: {workload.UserKey(u)}},
+		Versioned: versioned,
+	}
 }
 
 func newMovieEnv(b *testing.B) *movieEnv {
 	b.Helper()
 	p := workload.MoviePlacement{MovieDCs: 2, UserDCs: 1, Movies: 200, Users: 400}
-	dep, err := core.New(core.Options{TCs: 3, DCs: 3,
-		Tables: workload.MovieTables(), Route: p.Route})
+	dep, err := core.New(core.Options{TCs: 3, DCs: 3, Placement: p.Placement(2)})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -197,8 +235,7 @@ func newMovieEnv(b *testing.B) *movieEnv {
 		b.Fatal(err)
 	}
 	for u := 0; u < p.Users; u++ {
-		owner := core.TxnOptions{TC: p.OwnerTC(u, 2) + 1, Versioned: true}
-		if err := client.RunTxn(context.Background(), owner, func(x *tc.Txn) error {
+		if err := client.RunTxn(context.Background(), newMovieEnvOwner(p, u), func(x *tc.Txn) error {
 			return x.Upsert(workload.TableUsers, workload.UserKey(u), []byte("p"))
 		}); err != nil {
 			b.Fatal(err)
@@ -206,6 +243,13 @@ func newMovieEnv(b *testing.B) *movieEnv {
 	}
 	b.Cleanup(dep.Close)
 	return &movieEnv{client: client, p: p, reader: core.TxnOptions{TC: 3, ReadOnly: true}}
+}
+
+func newMovieEnvOwner(p workload.MoviePlacement, u int) core.TxnOptions {
+	return core.TxnOptions{
+		WriteSet:  map[string][]string{workload.TableUsers: {workload.UserKey(u)}},
+		Versioned: true,
+	}
 }
 
 func BenchmarkFig2MovieW1(b *testing.B) {

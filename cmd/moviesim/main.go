@@ -31,8 +31,7 @@ func main() {
 	const updateTCs = 2
 	dep, err := core.New(core.Options{
 		TCs: updateTCs + 1, DCs: 3,
-		Tables: workload.MovieTables(),
-		Route:  p.Route,
+		Placement: p.Placement(updateTCs),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

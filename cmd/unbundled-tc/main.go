@@ -1,15 +1,32 @@
 // Command unbundled-tc runs one transactional component as a standalone
 // process, committing transactions against unbundled-dc processes over
-// TCP. It has two modes:
+// TCP. Several unbundled-tc processes — one TC each, distinguished by
+// -tc-id — share the same DCs under one -placement spec: the §6.1
+// update-ownership partition is enforced by each TC (writes outside its
+// partition abort with ErrWrongOwner), and each TC fences the DCs with
+// its own incarnation epochs, so killing and restarting one process never
+// disturbs the others.
+//
+// With -dir, the TC-log lives in that directory and survives kill -9:
+// restarting with the same flags reopens the log and runs the §5.3.2
+// restart protocol (analysis, epoch-fenced DC reset, redo, loser undo)
+// against the DCs before serving.
 //
 // Workload mode (default) runs -txns write transactions of -ops unique
-// keys each, then reads every committed key back and verifies its value —
-// the committed-write oracle the e2e suite uses. The workload rides out
-// DC outages without intervention: the wire client resends, the redial
-// supervisor reconnects, and the deployment replays the redo stream to a
-// restarted DC before new work flows.
+// keys each — keys prefixed "w<tc-id>-", so fleet members generate
+// disjoint key populations — then reads every committed key back and
+// verifies its value. The workload rides out DC outages without
+// intervention: the wire client resends, the redial supervisor
+// reconnects, and the deployment replays the redo stream to a restarted
+// DC before new work flows.
 //
 //	unbundled-tc -dcs 127.0.0.1:7070 -txns 500 -ops 4 -verify
+//
+// A two-TC fleet over two DCs, ownership split by key range:
+//
+//	P='kv: dc=hash(2) owner=range(<w2:1,*:2)'
+//	unbundled-tc -dcs :7071,:7072 -placement "$P" -tc-id 1 -tcs 2 -dir ./tc1
+//	unbundled-tc -dcs :7071,:7072 -placement "$P" -tc-id 2 -tcs 2 -dir ./tc2
 //
 // REPL mode (-repl) reads commands from stdin, one autocommitted
 // transaction per line:
@@ -26,18 +43,25 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"github.com/cidr09/unbundled/internal/base"
 	"github.com/cidr09/unbundled/internal/core"
+	"github.com/cidr09/unbundled/internal/placement"
 	"github.com/cidr09/unbundled/internal/tc"
 )
 
 func main() {
 	dcs := flag.String("dcs", "127.0.0.1:7070", "comma-separated DC listen addresses")
-	routeSpec := flag.String("route", "hash", `route spec: "hash" (key hash mod #DCs) or "first" (everything to DC 0)`)
+	placementSpec := flag.String("placement", "", `placement spec ("<table>: dc=<axis> owner=<axis>; ..."); empty derives one from -route/-tcs`)
+	tcID := flag.Int("tc-id", 1, "this TC's ID, unique across every process sharing the DCs")
+	tcs := flag.Int("tcs", 1, "total TCs in the fleet (IDs 1..tcs); ownership axes may name any of them")
+	dir := flag.String("dir", "", "data directory for the TC-log (empty: in-memory, lost on exit); restart with the same flags to recover")
+	routeSpec := flag.String("route", "hash", `deprecated data-axis shorthand used when -placement is empty: "hash" (key hash mod #DCs) or "first" (everything to DC 0)`)
 	table := flag.String("table", "kv", "table the workload writes")
 	txns := flag.Int("txns", 200, "workload transactions to run")
 	ops := flag.Int("ops", 4, "writes per transaction")
@@ -55,17 +79,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unbundled-tc: -dcs must name at least one address")
 		os.Exit(1)
 	}
-	route, err := buildRoute(*routeSpec, len(addrs))
+	if *tcID < 1 || *tcID > *tcs {
+		fmt.Fprintf(os.Stderr, "unbundled-tc: -tc-id %d outside the fleet 1..%d (-tcs)\n", *tcID, *tcs)
+		os.Exit(1)
+	}
+	pl, err := buildPlacement(*placementSpec, *routeSpec, *table, len(addrs), *tcs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "unbundled-tc:", err)
 		os.Exit(1)
 	}
 	dep, err := core.New(core.Options{
-		TCs:     1,
-		DCAddrs: addrs,
-		Route:   route,
+		TCs:       1,
+		FleetTCs:  *tcs,
+		DCAddrs:   addrs,
+		Placement: pl,
 		TCConfig: func(int) tc.Config {
-			return tc.Config{Pipeline: *pipeline}
+			return tc.Config{ID: base.TCID(*tcID), Pipeline: *pipeline, Dir: *dir}
 		},
 	})
 	if err != nil {
@@ -73,6 +102,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer dep.Close()
+	fmt.Printf("unbundled-tc: tc %d of %d, placement %q\n", *tcID, *tcs, pl.String())
 
 	ctx, cancel := context.WithTimeout(context.Background(), *connectWait)
 	err = dep.WaitConnected(ctx)
@@ -83,18 +113,32 @@ func main() {
 	}
 	fmt.Printf("unbundled-tc: connected to %d DC(s): %s\n", len(addrs), *dcs)
 
+	// A -dir holding a previous incarnation's log: the DCs are reachable
+	// now, so run the §5.3.2 restart (analysis, epoch-fenced reset, redo,
+	// loser undo) before serving anything.
+	if dep.TCs[0].NeedsRecovery() {
+		fmt.Printf("unbundled-tc: restarting tc %d from its log in %s\n", *tcID, *dir)
+		if err := dep.RecoverTC(0); err != nil {
+			fmt.Fprintf(os.Stderr, "unbundled-tc: restart from %s: %v\n", *dir, err)
+			os.Exit(1)
+		}
+		st := dep.TCs[0].Stats()
+		fmt.Printf("unbundled-tc: tc %d restarted: epoch=%d redo-ops=%d undo-ops=%d\n",
+			*tcID, dep.TCs[0].Epoch(), st.RedoOps, st.UndoOps)
+	}
+
 	if *repl {
 		runREPL(dep, *table)
 		return
 	}
 	ok := runWorkload(dep, workloadConfig{
-		table: *table, txns: *txns, ops: *ops, valueBytes: *valueBytes,
+		table: *table, tcID: *tcID, txns: *txns, ops: *ops, valueBytes: *valueBytes,
 		verify: *verify, checkpointEvery: *checkpointEvery, progressEvery: *progressEvery,
 	})
 	ws := dep.RemoteWireStats()
 	st := dep.TCs[0].Stats()
-	fmt.Printf("unbundled-tc: commits=%d aborts=%d redo-ops=%d checkpoints=%d wire-calls=%d resends=%d reconnects=%d\n",
-		st.Commits, st.Aborts, st.RedoOps, st.Checkpoints, ws.Calls, ws.Resends, ws.Reconnects)
+	fmt.Printf("unbundled-tc: commits=%d aborts=%d redo-ops=%d checkpoints=%d epoch=%d wire-calls=%d resends=%d reconnects=%d\n",
+		st.Commits, st.Aborts, st.RedoOps, st.Checkpoints, dep.TCs[0].Epoch(), ws.Calls, ws.Resends, ws.Reconnects)
 	if !ok {
 		os.Exit(1)
 	}
@@ -110,23 +154,55 @@ func splitList(s string) []string {
 	return out
 }
 
-func buildRoute(spec string, n int) (func(table, key string) int, error) {
-	switch spec {
-	case "first":
-		return func(string, string) int { return 0 }, nil
-	case "hash":
-		return func(_, key string) int {
-			h := fnv.New32a()
-			h.Write([]byte(key))
-			return int(h.Sum32() % uint32(n))
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown -route %q (want hash or first)", spec)
+// buildPlacement parses -placement, or derives a spec: the workload table
+// hash- (or, with the deprecated -route shorthand, first-)placed across
+// the DCs, update ownership split along the workload's own "w<tc-id>-"
+// key prefixes so every fleet member owns exactly the keys it generates,
+// plus a catch-all so REPL sessions can touch ad-hoc tables.
+func buildPlacement(spec, route, table string, dcs, tcs int) (*placement.Placement, error) {
+	if spec != "" {
+		return placement.Parse(spec)
 	}
+	dcAxis := fmt.Sprintf("hash(%d)", dcs)
+	switch route {
+	case "hash":
+	case "first":
+		dcAxis = "0"
+	default:
+		return nil, fmt.Errorf("unknown -route %q (want hash or first)", route)
+	}
+	owner := "1"
+	if tcs > 1 {
+		// The range grammar wants lexicographically ascending split keys,
+		// and the "w<id>-" prefixes do not sort numerically past 9 TCs
+		// ("w10-" < "w2-"): sort the prefixes and emit each boundary with
+		// the preceding prefix's owner, so any fleet size derives a valid
+		// spec whose partition is exactly the prefix populations.
+		prefixes := make([]string, tcs)
+		for w := 1; w <= tcs; w++ {
+			prefixes[w-1] = fmt.Sprintf("w%d-", w)
+		}
+		sort.Strings(prefixes)
+		idOf := func(p string) int {
+			id, err := strconv.Atoi(p[1 : len(p)-1])
+			if err != nil {
+				panic(err) // unreachable: prefixes are built two lines up
+			}
+			return id
+		}
+		var ents strings.Builder
+		for i := 1; i < len(prefixes); i++ {
+			fmt.Fprintf(&ents, "<%s:%d,", prefixes[i], idOf(prefixes[i-1]))
+		}
+		owner = fmt.Sprintf("range(%s*:%d)", ents.String(), idOf(prefixes[len(prefixes)-1]))
+	}
+	return placement.Parse(fmt.Sprintf("%s: dc=%s owner=%s; *: dc=%s owner=any",
+		table, dcAxis, owner, dcAxis))
 }
 
 type workloadConfig struct {
 	table           string
+	tcID            int
 	txns, ops       int
 	valueBytes      int
 	verify          bool
@@ -137,12 +213,16 @@ type workloadConfig struct {
 // runWorkload commits cfg.txns transactions of unique-key writes and then
 // verifies every committed key. Unique keys make the oracle exact: a
 // committed transaction's writes must all be present with their final
-// values, whatever the DC suffered in between.
+// values, whatever the DC suffered in between. Keys carry the TC ID, so
+// fleet members running this workload concurrently write disjoint
+// populations — pair that with a range-ownership placement
+// (owner=range(<w2:1,*:2)) and the §6.1 partition lines up with the
+// key prefixes.
 func runWorkload(dep *core.Deployment, cfg workloadConfig) bool {
 	ctx := context.Background()
 	client := dep.Client()
 	value := func(i, j int) []byte {
-		v := fmt.Sprintf("v-%d-%d/", i, j)
+		v := fmt.Sprintf("v-%d-%d-%d/", cfg.tcID, i, j)
 		for len(v) < cfg.valueBytes {
 			v += "x"
 		}
@@ -152,9 +232,9 @@ func runWorkload(dep *core.Deployment, cfg workloadConfig) bool {
 	committed := 0
 	for i := 0; i < cfg.txns; i++ {
 		i := i
-		err := client.RunTxn(ctx, core.TxnOptions{}, func(x *tc.Txn) error {
+		err := client.RunTxnAt(ctx, cfg.table, workloadKey(cfg.tcID, i, 0), core.TxnOptions{}, func(x *tc.Txn) error {
 			for j := 0; j < cfg.ops; j++ {
-				if err := x.Upsert(cfg.table, workloadKey(i, j), value(i, j)); err != nil {
+				if err := x.Upsert(cfg.table, workloadKey(cfg.tcID, i, j), value(i, j)); err != nil {
 					return err
 				}
 			}
@@ -183,13 +263,13 @@ func runWorkload(dep *core.Deployment, cfg workloadConfig) bool {
 		i := i
 		err := client.RunTxn(ctx, core.TxnOptions{}, func(x *tc.Txn) error {
 			for j := 0; j < cfg.ops; j++ {
-				got, okRead, err := x.Read(cfg.table, workloadKey(i, j))
+				got, okRead, err := x.Read(cfg.table, workloadKey(cfg.tcID, i, j))
 				if err != nil {
 					return err
 				}
 				if !okRead || string(got) != string(value(i, j)) {
 					lost++
-					fmt.Printf("unbundled-tc: LOST committed write %s (found=%v)\n", workloadKey(i, j), okRead)
+					fmt.Printf("unbundled-tc: LOST committed write %s (found=%v)\n", workloadKey(cfg.tcID, i, j), okRead)
 				}
 			}
 			return nil
@@ -207,7 +287,7 @@ func runWorkload(dep *core.Deployment, cfg workloadConfig) bool {
 	return true
 }
 
-func workloadKey(i, j int) string { return fmt.Sprintf("w-%06d-%d", i, j) }
+func workloadKey(tcID, i, j int) string { return fmt.Sprintf("w%d-%06d-%d", tcID, i, j) }
 
 func runREPL(dep *core.Deployment, defaultTable string) {
 	ctx := context.Background()
@@ -225,8 +305,8 @@ func runREPL(dep *core.Deployment, defaultTable string) {
 		case "stats":
 			ws := dep.RemoteWireStats()
 			st := dep.TCs[0].Stats()
-			fmt.Printf("commits=%d aborts=%d wire-calls=%d resends=%d reconnects=%d\n",
-				st.Commits, st.Aborts, ws.Calls, ws.Resends, ws.Reconnects)
+			fmt.Printf("commits=%d aborts=%d epoch=%d wire-calls=%d resends=%d reconnects=%d\n",
+				st.Commits, st.Aborts, dep.TCs[0].Epoch(), ws.Calls, ws.Resends, ws.Reconnects)
 		case "checkpoint":
 			rssp, err := dep.TCs[0].Checkpoint(ctx)
 			if err != nil {

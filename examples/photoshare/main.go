@@ -28,21 +28,15 @@ const (
 
 func main() {
 	// DC0: users+photos (record store); DC1: reviews; DC2: the home-grown
-	// index DC holding both inverted indexes.
-	route := func(table, _ string) int {
-		switch table {
-		case tUsers, tPhotos:
-			return 0
-		case tReviews:
-			return 1
-		default:
-			return 2
-		}
-	}
+	// index DC holding both inverted indexes. The placement spec declares
+	// the whole map — the tables come from it too — and owner=1 gives the
+	// single TC exclusive update rights over everything.
+	pl := unbundled.MustParsePlacement(fmt.Sprintf(
+		"%s: dc=0 owner=1; %s: dc=0 owner=1; %s: dc=1 owner=1; %s: dc=2 owner=1; %s: dc=2 owner=1",
+		tUsers, tPhotos, tReviews, tTagIdx, tPhrase))
 	dep, err := unbundled.Open(unbundled.Options{
 		TCs: 1, DCs: 3,
-		Tables: []string{tUsers, tPhotos, tReviews, tTagIdx, tPhrase},
-		Route:  route,
+		Placement: pl,
 	})
 	if err != nil {
 		log.Fatal(err)

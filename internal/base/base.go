@@ -163,6 +163,13 @@ const (
 	// gate). It is a local outcome — a DC never sends it — and says nothing
 	// about whether the operation executed.
 	CodeCancelled
+	// CodeWrongOwner means the operation targets a key outside the
+	// issuing TC's §6.1 update-ownership partition. The TC enforces
+	// ownership before an operation is ever logged or shipped, so today
+	// this code crosses the wire only if a future DC-side check refuses
+	// one; it is permanent either way — ownership moves by changing the
+	// placement, not by retrying.
+	CodeWrongOwner
 )
 
 func (c Code) String() string {
@@ -181,6 +188,8 @@ func (c Code) String() string {
 		return "stale-epoch"
 	case CodeCancelled:
 		return "cancelled"
+	case CodeWrongOwner:
+		return "wrong-owner"
 	}
 	return fmt.Sprintf("Code(%d)", uint8(c))
 }
@@ -205,6 +214,8 @@ func (e codeError) Is(target error) bool {
 		return target == ErrUnavailable
 	case CodeCancelled:
 		return target == ErrCancelled
+	case CodeWrongOwner:
+		return target == ErrWrongOwner
 	}
 	return false
 }

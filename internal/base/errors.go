@@ -34,6 +34,17 @@ var (
 	// ErrReadOnly marks a write attempted inside a transaction begun with
 	// TxnOptions.ReadOnly. Permanent.
 	ErrReadOnly = errors.New("unbundled: read-only transaction")
+	// ErrWrongOwner marks a write outside the issuing TC's §6.1 update-
+	// ownership partition: the deployment's placement names another TC as
+	// the key's owner, and update responsibility is exclusive. The
+	// transaction has been aborted. Permanent — retrying at the same TC
+	// can never succeed; route the transaction to the owner instead
+	// (TxnOptions.WriteSet, Client.RunTxnAt).
+	ErrWrongOwner = errors.New("unbundled: wrong update owner for key")
+	// ErrUnknownTable marks a placement lookup for a table no clause of
+	// the deployment's placement covers (and no "*" catch-all exists).
+	// Permanent: the spec, not the moment, is wrong.
+	ErrUnknownTable = errors.New("unbundled: table not covered by placement")
 )
 
 // IsTransient reports whether err is an abort a caller should retry as a
@@ -68,7 +79,7 @@ func (e *cancelErr) Is(target error) bool { return target == ErrCancelled }
 // wire as a string, so errors.Is keeps working through the stub: the known
 // sentinel messages are matched by substring and re-wrapped.
 func RehydrateWireError(msg string) error {
-	for _, sentinel := range []error{ErrStaleEpoch, ErrUnavailable} {
+	for _, sentinel := range []error{ErrStaleEpoch, ErrUnavailable, ErrWrongOwner, ErrUnknownTable} {
 		if strings.Contains(msg, sentinel.Error()) {
 			return &wireErr{msg: msg, sentinel: sentinel}
 		}

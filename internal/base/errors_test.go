@@ -16,7 +16,8 @@ func TestIsTransientClassification(t *testing.T) {
 			t.Fatalf("wrapped %v must stay transient", err)
 		}
 	}
-	for _, err := range []error{ErrCancelled, ErrReadOnly, ErrStaleEpoch, errors.New("other")} {
+	for _, err := range []error{ErrCancelled, ErrReadOnly, ErrStaleEpoch,
+		ErrWrongOwner, ErrUnknownTable, errors.New("other")} {
 		if IsTransient(err) {
 			t.Fatalf("%v must not be transient", err)
 		}
@@ -36,6 +37,9 @@ func TestCodeErrorsFoldIntoTaxonomy(t *testing.T) {
 	// Wrapped one level (the way the txn layer surfaces them).
 	if err := fmt.Errorf("tc: read: %w", CodeUnavailable.Err()); !IsTransient(err) {
 		t.Fatalf("wrapped unavailable %v lost transience", err)
+	}
+	if err := CodeWrongOwner.Err(); !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("CodeWrongOwner error %v does not match ErrWrongOwner", err)
 	}
 	if errors.Is(CodeNotFound.Err(), ErrUnavailable) || errors.Is(CodeOK.Err(), ErrUnavailable) {
 		t.Fatal("unrelated codes must not match taxonomy sentinels")
@@ -69,6 +73,15 @@ func TestRehydrateWireError(t *testing.T) {
 	msg = "dc dc0: " + ErrUnavailable.Error()
 	if err := RehydrateWireError(msg); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("rehydrated %q does not match ErrUnavailable", msg)
+	}
+	// The §6.1 placement sentinels rehydrate like their siblings, so
+	// errors.Is(err, ErrWrongOwner) keeps working when a failure crosses
+	// the TC:DC wire as a control-reply string.
+	for _, sentinel := range []error{ErrWrongOwner, ErrUnknownTable} {
+		msg := "tc 2: upsert kv/\"w1-0\": " + sentinel.Error()
+		if err := RehydrateWireError(msg); !errors.Is(err, sentinel) {
+			t.Fatalf("rehydrated %q does not match %v", msg, sentinel)
+		}
 	}
 	if err := RehydrateWireError("something else"); err == nil || errors.Is(err, ErrUnavailable) {
 		t.Fatalf("unknown message must rehydrate to a plain error, got %v", err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -25,18 +26,30 @@ type TxnOptions struct {
 	// keeps the TC default.
 	LockTimeout time.Duration
 	// TC pins the transaction to one transactional component by its ID
-	// (1-based, matching TC.ID; dep.TCs[i] has ID i+1). Zero routes
-	// automatically: round-robin across TCs with a least-inflight
-	// tiebreak.
+	// (matching TC.ID; in-process deployments default to IDs 1..TCs).
+	// Zero routes automatically: by WriteSet ownership when the
+	// deployment's placement partitions update rights, else round-robin
+	// across TCs with a least-inflight tiebreak.
 	//
 	// Locks live per TC, so two TCs serialize nothing against each other:
 	// when a deployment runs more than one TC, the §6.1 contract applies —
 	// update responsibility for each key must be partitioned among the
-	// TCs. Pin by ownership for any key other transactions may write
-	// concurrently; auto-routing is for single-TC deployments, disjoint
-	// key populations, and the versioned read paths (§6.2) that tolerate
-	// concurrent writers by design.
+	// TCs. Declare the partition in Options.Placement and hint writes via
+	// WriteSet (or RunTxnAt) instead of hand-computing this pin; the TC
+	// itself enforces the partition (ErrWrongOwner) either way.
 	TC int
+	// WriteSet hints the transaction's write intent: table -> keys it
+	// will update. When the deployment's placement partitions update
+	// ownership (§6.1), the transaction is routed to the TC owning those
+	// keys — every hinted key must resolve to the same owner, and a hint
+	// spanning two partitions fails with ErrWrongOwner before the
+	// transaction starts (a §6.1 deployment has no distributed
+	// transactions to offer). Keys nobody owns contribute nothing; if no
+	// hinted key is owned, round-robin applies. Ignored when TC pins
+	// explicitly or for ReadOnly transactions (reads run anywhere).
+	// The hint routes; it does not limit — but writes outside the owner's
+	// partition will abort with ErrWrongOwner at the TC.
+	WriteSet map[string][]string
 	// MaxAttempts bounds RunTxn's automatic retry of transient aborts
 	// (deadlock victims, lock timeouts, component-unavailable windows):
 	// total attempts including the first. Zero means the default (8); 1
@@ -76,17 +89,24 @@ const (
 	maxBackoff      = 50 * time.Millisecond
 )
 
-// pick selects the TC for one attempt: the pinned one, or round-robin with
-// a least-inflight tiebreak — the rotating start index spreads ties, and a
-// TC running fewer transactions wins outright so a stalled or loaded TC
-// sheds new work.
+// pick selects the TC for one attempt: the pinned one, the §6.1 owner of
+// the hinted write set, or round-robin with a least-inflight tiebreak —
+// the rotating start index spreads ties, and a TC running fewer
+// transactions wins outright so a stalled or loaded TC sheds new work.
 func (c *Client) pick(opts TxnOptions) (*tc.TC, error) {
 	tcs := c.dep.TCs
 	if opts.TC != 0 {
-		if opts.TC < 0 || opts.TC > len(tcs) {
-			return nil, fmt.Errorf("unbundled: no TC with ID %d (deployment has %d)", opts.TC, len(tcs))
+		// Bounds before the uint16 conversion: a negative or oversized pin
+		// must error, not alias a valid TC ID.
+		if opts.TC < 1 || opts.TC > math.MaxUint16 {
+			return nil, fmt.Errorf("unbundled: no TC with ID %d in this deployment", opts.TC)
 		}
-		return tcs[opts.TC-1], nil
+		return c.byID(base.TCID(opts.TC))
+	}
+	if len(opts.WriteSet) > 0 && !opts.ReadOnly {
+		if t, err := c.owner(opts.WriteSet); err != nil || t != nil {
+			return t, err
+		}
 	}
 	start := int(c.rr.Add(1)-1) % len(tcs)
 	best := tcs[start]
@@ -98,6 +118,52 @@ func (c *Client) pick(opts TxnOptions) (*tc.TC, error) {
 		}
 	}
 	return best, nil
+}
+
+func (c *Client) byID(id base.TCID) (*tc.TC, error) {
+	for _, t := range c.dep.TCs {
+		if t.ID() == id {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("unbundled: no TC with ID %d in this deployment", id)
+}
+
+// owner resolves the §6.1 owner of a hinted write set: the unique owning
+// TC, nil when nothing in the set is owned (caller falls back to
+// round-robin). A set spanning two partitions, or owned by a TC running
+// in another process, fails typed with ErrWrongOwner — routing cannot
+// make such a transaction legal, only re-partitioning (or sending it to
+// the process that owns it) can.
+func (c *Client) owner(ws map[string][]string) (*tc.TC, error) {
+	var owner base.TCID
+	var otable, okey string
+	for table, keys := range ws {
+		for _, key := range keys {
+			o, err := c.dep.router.Owner(table, key)
+			if err != nil {
+				return nil, fmt.Errorf("unbundled: route write set: %w", err)
+			}
+			if o == 0 || o == owner {
+				continue
+			}
+			if owner != 0 {
+				return nil, fmt.Errorf(
+					"unbundled: write set spans ownership partitions (%s/%q owned by tc %d, %s/%q by tc %d): %w",
+					otable, okey, owner, table, key, o, base.ErrWrongOwner)
+			}
+			owner, otable, okey = o, table, key
+		}
+	}
+	if owner == 0 {
+		return nil, nil
+	}
+	t, err := c.byID(owner)
+	if err != nil {
+		return nil, fmt.Errorf("unbundled: %s/%q is owned by tc %d, which is not in this deployment: %w",
+			otable, okey, owner, base.ErrWrongOwner)
+	}
+	return t, nil
 }
 
 // Begin starts a single transaction on a routed (or pinned) TC. The caller
@@ -174,4 +240,18 @@ func (c *Client) RunTxn(ctx context.Context, opts TxnOptions, fn func(*tc.Txn) e
 		}
 	}
 	return err
+}
+
+// RunTxnAt runs fn like RunTxn with (table, key) hinted as write intent:
+// the transaction is routed to the TC owning that key per the
+// deployment's §6.1 placement, sparing callers the hand-computed
+// TxnOptions.TC pin. The hint merges into any WriteSet already in opts.
+func (c *Client) RunTxnAt(ctx context.Context, table, key string, opts TxnOptions, fn func(*tc.Txn) error) error {
+	ws := make(map[string][]string, len(opts.WriteSet)+1)
+	for t, ks := range opts.WriteSet {
+		ws[t] = ks
+	}
+	ws[table] = append(append([]string(nil), ws[table]...), key)
+	opts.WriteSet = ws
+	return c.RunTxn(ctx, opts, fn)
 }

@@ -12,22 +12,45 @@ import (
 
 	"github.com/cidr09/unbundled/internal/base"
 	"github.com/cidr09/unbundled/internal/dc"
+	"github.com/cidr09/unbundled/internal/placement"
 	"github.com/cidr09/unbundled/internal/tc"
 	"github.com/cidr09/unbundled/internal/wire"
 )
 
 // Options configures a deployment.
 type Options struct {
-	// TCs is the number of transactional components (IDs 1..TCs).
+	// TCs is the number of transactional components built in this
+	// process (IDs 1..TCs unless TCConfig assigns explicit IDs).
 	TCs int
 	// DCs is the number of data components.
 	DCs int
-	// Tables are created on every DC (routing decides which DC actually
-	// serves which key).
+	// Tables are created on every DC (placement decides which DC actually
+	// serves which key). Empty defaults to Placement.Tables() when a
+	// Placement is given.
 	Tables []string
-	// Route maps (table, key) to a DC index. Nil routes everything to DC 0.
+	// Placement declares the deployment map: data placement (table/key to
+	// DC) and §6.1 update ownership (table/key to owning TC), parsed from
+	// or printable as a spec string (placement.Parse/String), so the
+	// identical text can drive this in-process deployment and a fleet of
+	// cmd/unbundled-tc processes. It supersedes Route; New validates it
+	// against the deployment shape. Nil falls back to Route.
+	Placement *placement.Placement
+	// FleetTCs is the total number of TCs across every process sharing
+	// this placement (IDs 1..FleetTCs): the ownership axes may name TCs
+	// that live in other OS processes. Zero means the fleet is exactly
+	// this deployment's TCs.
+	FleetTCs int
+	// Route maps (table, key) to a DC index. Nil (with a nil Placement)
+	// routes everything to DC 0.
+	//
+	// Deprecated: declare a Placement instead. The closure cannot be
+	// serialized, carries no §6.1 ownership axis (nothing is enforced),
+	// and falls through silently on unknown tables. It remains as a shim
+	// for programmatic routes no spec can express; ignored when Placement
+	// is set.
 	Route func(table, key string) int
-	// TCConfig customizes each TC (the ID field is overwritten).
+	// TCConfig customizes each TC (a zero ID field is defaulted to i+1;
+	// explicit IDs let one process run TC 3 of a larger fleet).
 	TCConfig func(i int) tc.Config
 	// DCConfig customizes each DC (the Name field is overwritten).
 	DCConfig func(i int) dc.Config
@@ -58,12 +81,34 @@ type Deployment struct {
 	// link [t][d] holds the wire pair for TC t -> DC d (nil when direct).
 	clients [][]*wire.Client
 	servers [][]*wire.Server
-	route   func(table, key string) int
+	router  placement.Router
+	pl      *placement.Placement // nil when running on the deprecated Route shim
 
 	clientOnce sync.Once
 	client     *Client
 	closeOnce  sync.Once
 	closeCh    chan struct{}
+}
+
+// resolveRouter validates Options.Placement against the deployment shape
+// (dcCount data components, a fleet of max(FleetTCs, TCs) transactional
+// components) and returns the router every TC shares; without a
+// Placement, the deprecated Route shim applies.
+func resolveRouter(opts *Options, dcCount int) (placement.Router, error) {
+	if opts.Placement == nil {
+		return placement.RouteFunc(opts.Route), nil
+	}
+	fleet := opts.FleetTCs
+	if fleet < opts.TCs {
+		fleet = opts.TCs
+	}
+	if err := opts.Placement.Validate(dcCount, fleet); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if len(opts.Tables) == 0 {
+		opts.Tables = opts.Placement.Tables()
+	}
+	return opts.Placement, nil
 }
 
 // New builds and starts a deployment.
@@ -74,13 +119,14 @@ func New(opts Options) (*Deployment, error) {
 	if opts.DCs <= 0 {
 		opts.DCs = 1
 	}
-	if opts.Route == nil {
-		opts.Route = func(string, string) int { return 0 }
-	}
 	if len(opts.DCAddrs) > 0 {
 		return newRemote(opts)
 	}
-	d := &Deployment{route: opts.Route, closeCh: make(chan struct{})}
+	router, err := resolveRouter(&opts, opts.DCs)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{router: router, pl: opts.Placement, closeCh: make(chan struct{})}
 	for i := 0; i < opts.DCs; i++ {
 		cfg := dc.Config{}
 		if opts.DCConfig != nil {
@@ -106,7 +152,9 @@ func New(opts Options) (*Deployment, error) {
 		if opts.TCConfig != nil {
 			cfg = opts.TCConfig(t)
 		}
-		cfg.ID = base.TCID(t + 1)
+		if cfg.ID == 0 {
+			cfg.ID = base.TCID(t + 1)
+		}
 		var services []base.Service
 		var clients []*wire.Client
 		var servers []*wire.Server
@@ -122,9 +170,18 @@ func New(opts Options) (*Deployment, error) {
 			clients = append(clients, cl)
 			servers = append(servers, srv)
 		}
-		tci, err := tc.New(cfg, services, opts.Route)
+		tci, err := tc.New(cfg, services, router)
 		if err != nil {
 			return nil, err
+		}
+		// A TC rebuilt over a previous incarnation's log (TCConfig.Dir)
+		// restarts here, while the DCs are already serving: the ordinary
+		// §5.3.2 restart, run at assembly time so the deployment hands
+		// back only live TCs.
+		if tci.NeedsRecovery() {
+			if err := tci.Recover(); err != nil {
+				return nil, fmt.Errorf("core: tc %d restart from %q: %w", cfg.ID, cfg.Dir, err)
+			}
 		}
 		d.TCs = append(d.TCs, tci)
 		d.clients = append(d.clients, clients)
@@ -136,8 +193,21 @@ func New(opts Options) (*Deployment, error) {
 // Net exposes the network (stats), or nil for direct deployments.
 func (d *Deployment) Net() *wire.Network { return d.net }
 
-// Route returns the DC index serving (table, key).
-func (d *Deployment) Route(table, key string) int { return d.route(table, key) }
+// Route returns the DC index serving (table, key). With a Placement, a
+// table no clause covers fails typed (base.ErrUnknownTable) instead of
+// silently falling through to DC 0.
+func (d *Deployment) Route(table, key string) (int, error) { return d.router.DC(table, key) }
+
+// Owner returns the ID of the TC owning update rights for (table, key)
+// per the deployment's §6.1 ownership axes; zero means unowned (any TC
+// may update — the posture of ownerless placements and the Route shim).
+func (d *Deployment) Owner(table, key string) (base.TCID, error) {
+	return d.router.Owner(table, key)
+}
+
+// Placement returns the deployment's placement, or nil when it was built
+// on the deprecated Options.Route shim.
+func (d *Deployment) Placement() *placement.Placement { return d.pl }
 
 // Close stops the whole deployment: TC background work first (so commit
 // barriers unblock), then the wire pumps, then the DCs. Idempotent — a

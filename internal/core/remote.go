@@ -22,13 +22,19 @@ import (
 // work flows — the §4.2.1 out-of-band restart prompt, automated.
 
 func newRemote(opts Options) (*Deployment, error) {
-	d := &Deployment{route: opts.Route, closeCh: make(chan struct{})}
+	router, err := resolveRouter(&opts, len(opts.DCAddrs))
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{router: router, pl: opts.Placement, closeCh: make(chan struct{})}
 	for t := 0; t < opts.TCs; t++ {
 		cfg := tc.Config{}
 		if opts.TCConfig != nil {
 			cfg = opts.TCConfig(t)
 		}
-		cfg.ID = base.TCID(t + 1)
+		if cfg.ID == 0 {
+			cfg.ID = base.TCID(t + 1)
+		}
 		var services []base.Service
 		var clients []*wire.Client
 		var servers []*wire.Server
@@ -38,7 +44,7 @@ func newRemote(opts Options) (*Deployment, error) {
 			clients = append(clients, cl)
 			servers = append(servers, nil)
 		}
-		tci, err := tc.New(cfg, services, opts.Route)
+		tci, err := tc.New(cfg, services, router)
 		if err != nil {
 			for _, cl := range clients {
 				cl.Close()
@@ -59,6 +65,11 @@ func newRemote(opts Options) (*Deployment, error) {
 			d.superviseRemoteDC(t, cl, di)
 		}
 	}
+	// A TC reopening a previous incarnation's log (TCConfig.Dir) is NOT
+	// recovered here: its restart protocol must reach the remote DCs, and
+	// nothing has dialed yet. The caller gates on WaitConnected and then
+	// runs RecoverTC for every TC whose NeedsRecovery reports true, as
+	// cmd/unbundled-tc does.
 	return d, nil
 }
 

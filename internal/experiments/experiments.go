@@ -13,6 +13,7 @@ import (
 	"github.com/cidr09/unbundled/internal/dc"
 	"github.com/cidr09/unbundled/internal/harness"
 	"github.com/cidr09/unbundled/internal/monolith"
+	"github.com/cidr09/unbundled/internal/placement"
 	"github.com/cidr09/unbundled/internal/tc"
 	"github.com/cidr09/unbundled/internal/wire"
 	"github.com/cidr09/unbundled/internal/workload"
@@ -270,8 +271,10 @@ func E8(s Scale) *harness.Table {
 	t := harness.NewTable()
 	for _, dcs := range []int{1, 2, 4, 8} {
 		n := dcs
-		dep, err := core.New(core.Options{TCs: 1, DCs: n, Tables: []string{"kv"},
-			Route: func(_, key string) int { return workload.KVKeyIndex(key) % n }})
+		// mod(n) reads the key's digit run, matching workload.KVKeyIndex:
+		// "key00000042" lands on DC 42 % n.
+		dep, err := core.New(core.Options{TCs: 1, DCs: n,
+			Placement: placement.MustParse(fmt.Sprintf("kv: dc=mod(%d) owner=any", n))})
 		if err != nil {
 			panic(err)
 		}

@@ -3,12 +3,14 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/cidr09/unbundled/internal/core"
 	"github.com/cidr09/unbundled/internal/harness"
+	"github.com/cidr09/unbundled/internal/placement"
 	"github.com/cidr09/unbundled/internal/tc"
 	"github.com/cidr09/unbundled/internal/workload"
 )
@@ -21,7 +23,15 @@ import (
 func E7(s Scale) *harness.Table {
 	t := harness.NewTable("note")
 	for _, tcs := range []int{1, 2, 4} {
-		dep, err := core.New(core.Options{TCs: tcs + 1, DCs: 1, Tables: []string{"users"}})
+		// Writer w (TC w+1) owns the "p<w>/" key-range slice of the table;
+		// the reader TC (tcs+1) owns nothing and reads everywhere.
+		var ent strings.Builder
+		for w := 1; w < tcs; w++ {
+			fmt.Fprintf(&ent, "<p%d:%d,", w, w)
+		}
+		dep, err := core.New(core.Options{TCs: tcs + 1, DCs: 1,
+			Placement: placement.MustParse(
+				fmt.Sprintf("users: dc=0 owner=range(%s*:%d)", ent.String(), tcs))})
 		if err != nil {
 			panic(err)
 		}
@@ -109,8 +119,7 @@ func F2(s Scale) *harness.Table {
 	const updateTCs = 2
 	dep, err := core.New(core.Options{
 		TCs: updateTCs + 1, DCs: p.MovieDCs + p.UserDCs,
-		Tables: workload.MovieTables(),
-		Route:  p.Route,
+		Placement: p.Placement(updateTCs),
 	})
 	if err != nil {
 		panic(err)
@@ -212,9 +221,12 @@ func F2(s Scale) *harness.Table {
 // and a geo-prefix DC) and reports aggregate throughput per DC kind.
 func F1(s Scale) *harness.Table {
 	tables := []string{"photos", "accounts", "textidx", "shapes"}
-	routeTable := map[string]int{"photos": 0, "accounts": 1, "textidx": 2, "shapes": 3}
-	dep, err := core.New(core.Options{TCs: 2, DCs: 4, Tables: tables,
-		Route: func(table, _ string) int { return routeTable[table] }})
+	// Whole-table axes: each table lives on its own (heterogeneous) DC,
+	// and ownership is per application — app1 (TC 1) owns everything but
+	// the accounts table, which is app2's (TC 2).
+	dep, err := core.New(core.Options{TCs: 2, DCs: 4,
+		Placement: placement.MustParse(
+			"photos: dc=0 owner=1; accounts: dc=1 owner=2; textidx: dc=2 owner=1; shapes: dc=3 owner=1")})
 	if err != nil {
 		panic(err)
 	}

@@ -164,6 +164,11 @@ type Manager struct {
 	// detection still applies).
 	Timeout time.Duration
 
+	// poisoned, once set, fails every current and future wait with this
+	// error: the manager was superseded (TC crash) and nothing will ever
+	// release the locks its waiters are queued behind.
+	poisoned error
+
 	acquired, waited, deadlocks, timeouts, cancels, upgrades atomic.Uint64
 }
 
@@ -191,6 +196,10 @@ func (m *Manager) Lock(ctx context.Context, txn base.TxnID, res Resource, mode M
 // requesting a stronger mode upgrades.
 func (m *Manager) LockWait(ctx context.Context, txn base.TxnID, res Resource, mode Mode, timeout time.Duration) error {
 	m.mu.Lock()
+	if err := m.poisoned; err != nil {
+		m.mu.Unlock()
+		return err
+	}
 	cur := m.held[txn][res]
 	if cur.Covers(mode) {
 		m.mu.Unlock()
@@ -353,6 +362,29 @@ func (m *Manager) wakeLocked(st *lockState, res Resource) {
 		m.grantLocked(st, req.txn, res, req.mode)
 		req.ready <- nil
 	}
+}
+
+// Poison fails every blocked waiter with err and makes every future
+// LockWait return it immediately. TC.Crash poisons the lock manager it
+// discards: the waiters still queued in it belong to the dead
+// incarnation — the locks they are blocked behind vanished with the
+// table, so nothing will ever wake them — and they must fail out instead
+// of sleeping forever. A granted request that raced the poison keeps its
+// grant; only waits fail.
+func (m *Manager) Poison(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.poisoned != nil {
+		return
+	}
+	m.poisoned = err
+	for _, st := range m.locks {
+		for _, req := range st.queue {
+			req.ready <- err
+		}
+		st.queue = nil
+	}
+	m.waiting = make(map[base.TxnID]Resource)
 }
 
 // ReleaseAll drops every lock txn holds (commit/abort).

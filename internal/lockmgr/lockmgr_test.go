@@ -527,3 +527,61 @@ func TestLockDeadlineExceeded(t *testing.T) {
 	}
 	m.ReleaseAll(1)
 }
+
+// TestPoison: a superseded manager (TC crash) fails every blocked waiter
+// and every future wait with the poisoning error, while grants that
+// already happened stay granted.
+func TestPoison(t *testing.T) {
+	m := New()
+	r := KeyRes("t", "k")
+	if err := m.Lock(context.Background(), 1, r, X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- m.Lock(context.Background(), 2, r, X) }()
+	go func() { errs <- m.Lock(context.Background(), 3, KeyRes("t", "other"), S) }()
+	for i := 0; ; i++ {
+		m.mu.Lock()
+		queued := len(m.waiting)
+		m.mu.Unlock()
+		if queued == 1 { // txn 3 is granted instantly; only txn 2 queues
+			break
+		}
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	poison := fmt.Errorf("table gone: %w", base.ErrUnavailable)
+	m.Poison(poison)
+
+	// txn 3's grant succeeded; txn 2's wait fails with the poison error.
+	var sawErr, sawNil int
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				sawNil++
+			} else if errors.Is(err, base.ErrUnavailable) {
+				sawErr++
+			} else {
+				t.Fatalf("unexpected error %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("poisoned waiter did not return")
+		}
+	}
+	if sawErr != 1 || sawNil != 1 {
+		t.Fatalf("got %d errors and %d grants, want 1 and 1", sawErr, sawNil)
+	}
+	// Future waits fail immediately, even for free resources.
+	if err := m.Lock(context.Background(), 9, KeyRes("t", "free"), S); !errors.Is(err, base.ErrUnavailable) {
+		t.Fatalf("post-poison lock = %v, want the poison error", err)
+	}
+	// Poisoning twice is a no-op.
+	m.Poison(errors.New("second"))
+	if err := m.Lock(context.Background(), 10, KeyRes("t", "free"), S); !errors.Is(err, poison) {
+		t.Fatalf("second poison replaced the first: %v", err)
+	}
+}

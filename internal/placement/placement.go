@@ -1,0 +1,535 @@
+// Package placement implements the declarative deployment map of §6.1:
+// for every table, a data axis (which data component serves each key) and
+// an update-ownership axis (which transactional component holds the
+// exclusive right to update each key). Data placement decides where a
+// logical operation is shipped; update ownership is the contract that lets
+// several TCs share DCs without any cross-TC concurrency control — each TC
+// runs strict 2PL over its own partition, all TCs may read everywhere
+// (§6.2 versioned reads make that safe), and a TC refuses to write outside
+// its partition (base.ErrWrongOwner).
+//
+// A Placement is text-round-trippable so the identical spec can drive an
+// in-process deployment (core.Options.Placement) and a fleet of separate
+// OS processes (cmd/unbundled-tc -placement): Parse reads the grammar
+// below and String prints the canonical form, with
+// Parse(s).String() == Parse(Parse(s).String()).String().
+//
+// # Spec grammar
+//
+// A spec is a list of table clauses separated by ";" or newlines:
+//
+//	<table>: dc=<axis> owner=<axis>
+//
+// The table "*" is the optional catch-all for tables not named by any
+// other clause; without it, lookups on an unknown table fail with
+// base.ErrUnknownTable instead of silently landing on DC 0. "dc=" defaults
+// to 0 and "owner=" to "any" when omitted.
+//
+// An axis maps a key to a target: a DC index (0-based) on the dc axis, a
+// TC ID (1-based) on the owner axis. Axis forms:
+//
+//	3               every key to one fixed target
+//	any             owner axis only: no ownership partition (any TC may
+//	                update; the pre-§6.1 posture, safe only with one TC)
+//	hash(N)         FNV-32a of the whole key across N targets counted
+//	                from the axis base (DCs 0..N-1, TCs 1..N)
+//	hash(LO-HI)     same, across the explicit target span LO..HI
+//	mod(N) mod(LO-HI)
+//	                the key's first decimal digit run, modulo the span —
+//	                matches index-structured keys like "key00000042" or
+//	                "u000007/m000003" (partition by user)
+//	mod2(N) mod2(LO-HI)
+//	                the key's second digit run ("m000003/u000007"
+//	                partitions by user while data clusters by movie)
+//	range(<K1:T1,<K2:T2,...,*:T)
+//	                named key ranges: keys < K1 to T1, then keys < K2 to
+//	                T2, ...; the mandatory final "*" takes the rest. Keys
+//	                must be strictly increasing.
+//
+// Example — two tables over three DCs, update ownership split between two
+// TCs by key range while a third (reader) TC owns nothing:
+//
+//	users: dc=hash(0-1) owner=range(<m:1,*:2); events: dc=2 owner=any
+package placement
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/cidr09/unbundled/internal/base"
+)
+
+// Router is the run-time placement oracle a TC (and the deployment
+// client) consults: data placement for shipping operations, update
+// ownership for §6.1 enforcement and write-intent routing. Placement
+// implements it; RouteFunc adapts the deprecated routing closures.
+type Router interface {
+	// DC resolves the data component index serving (table, key).
+	DC(table, key string) (int, error)
+	// Owner resolves the TC ID owning update rights for (table, key);
+	// zero means unowned — any TC may update (no §6.1 partition).
+	Owner(table, key string) (base.TCID, error)
+}
+
+// RouteFunc adapts a legacy routing closure to the Router interface: data
+// placement by f (nil routes everything to DC 0), no ownership axis
+// (Owner is always zero, so nothing is enforced), and no unknown-table
+// detection — the closure's fall-through behaviour is preserved.
+//
+// Deprecated: declare a Placement instead; the closure cannot be
+// serialized into a flag and carries no §6.1 ownership contract.
+func RouteFunc(f func(table, key string) int) Router { return routeFunc{f} }
+
+type routeFunc struct{ f func(table, key string) int }
+
+func (r routeFunc) DC(table, key string) (int, error) {
+	if r.f == nil {
+		return 0, nil
+	}
+	return r.f(table, key), nil
+}
+
+func (r routeFunc) Owner(string, string) (base.TCID, error) { return 0, nil }
+
+type axisKind uint8
+
+const (
+	axisAny axisKind = iota
+	axisFixed
+	axisHash
+	axisMod
+	axisMod2
+	axisRange
+)
+
+var axisNames = map[axisKind]string{axisHash: "hash", axisMod: "mod", axisMod2: "mod2"}
+
+// rangeEntry maps keys below Below to Target; the final entry of an axis
+// has Below == "" and catches everything at or above the last split.
+type rangeEntry struct {
+	below  string
+	target int
+}
+
+// axis maps a key to a target in one span of the deployment: lo..hi for
+// the span kinds (hash/mod/mod2), lo for fixed, entries for range.
+type axis struct {
+	kind    axisKind
+	lo, hi  int
+	entries []rangeEntry
+}
+
+func (a axis) target(key string) int {
+	switch a.kind {
+	case axisFixed:
+		return a.lo
+	case axisHash:
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		return a.lo + int(h.Sum32()%uint32(a.hi-a.lo+1))
+	case axisMod:
+		return a.lo + digitRun(key, 1)%(a.hi-a.lo+1)
+	case axisMod2:
+		return a.lo + digitRun(key, 2)%(a.hi-a.lo+1)
+	case axisRange:
+		for _, e := range a.entries[:len(a.entries)-1] {
+			if key < e.below {
+				return e.target
+			}
+		}
+		return a.entries[len(a.entries)-1].target
+	}
+	return 0 // axisAny: callers never ask
+}
+
+// digitRun returns the value of the n-th contiguous decimal digit run in
+// key (1-based), the last run when there are fewer, and 0 when there are
+// none: "m000003/u000007" has runs 3 and 7.
+func digitRun(key string, n int) int {
+	val, runs, inRun := 0, 0, false
+	for i := 0; i < len(key); i++ {
+		if c := key[i]; c >= '0' && c <= '9' {
+			if !inRun {
+				if runs == n {
+					break // already have the requested run
+				}
+				inRun, runs, val = true, runs+1, 0
+			}
+			if val < 1<<40 { // cap: long runs saturate instead of overflowing
+				val = val*10 + int(c-'0')
+			}
+		} else {
+			inRun = false
+		}
+	}
+	return val
+}
+
+// maxTarget returns the highest target the axis can produce.
+func (a axis) maxTarget() int {
+	switch a.kind {
+	case axisFixed:
+		return a.lo
+	case axisHash, axisMod, axisMod2:
+		return a.hi
+	case axisRange:
+		m := 0
+		for _, e := range a.entries {
+			if e.target > m {
+				m = e.target
+			}
+		}
+		return m
+	}
+	return 0
+}
+
+func (a axis) format(base int) string {
+	switch a.kind {
+	case axisAny:
+		return "any"
+	case axisFixed:
+		return strconv.Itoa(a.lo)
+	case axisHash, axisMod, axisMod2:
+		if a.lo == base {
+			return fmt.Sprintf("%s(%d)", axisNames[a.kind], a.hi-a.lo+1)
+		}
+		return fmt.Sprintf("%s(%d-%d)", axisNames[a.kind], a.lo, a.hi)
+	case axisRange:
+		var b strings.Builder
+		b.WriteString("range(")
+		for i, e := range a.entries {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if e.below == "" {
+				b.WriteByte('*')
+			} else {
+				b.WriteByte('<')
+				b.WriteString(e.below)
+			}
+			b.WriteByte(':')
+			b.WriteString(strconv.Itoa(e.target))
+		}
+		b.WriteByte(')')
+		return b.String()
+	}
+	return "?"
+}
+
+// tableSpec is one table's two axes.
+type tableSpec struct {
+	data  axis // targets are DC indices (0-based)
+	owner axis // targets are TC IDs (1-based); axisAny = unowned
+}
+
+// Placement is a parsed, immutable deployment map. The zero value is not
+// usable; build one with Parse, MustParse, or Hash.
+type Placement struct {
+	tables map[string]tableSpec
+	catch  *tableSpec // the "*" clause, nil when absent
+}
+
+// Parse reads a placement spec (see the package grammar) and returns the
+// Placement it describes. Parse is strict about structure — unknown
+// fields, overlapping clauses, descending range keys, and out-of-base
+// targets are errors — but lenient about layout (extra whitespace,
+// newline or ";" clause separators, spaces inside parentheses).
+func Parse(spec string) (*Placement, error) {
+	p := &Placement{tables: make(map[string]tableSpec)}
+	for _, clause := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == '\n' }) {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("placement: clause %q: want \"<table>: dc=... owner=...\"", clause)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" || strings.ContainsAny(name, " \t(),=<*") && name != "*" {
+			return nil, fmt.Errorf("placement: bad table name %q", name)
+		}
+		if _, dup := p.tables[name]; dup || (name == "*" && p.catch != nil) {
+			return nil, fmt.Errorf("placement: duplicate clause for table %q", name)
+		}
+		ts := tableSpec{data: axis{kind: axisFixed}, owner: axis{kind: axisAny}}
+		seen := map[string]bool{}
+		for _, field := range splitTop(rest, ' ') {
+			k, v, ok := strings.Cut(field, "=")
+			if !ok {
+				return nil, fmt.Errorf("placement: table %q: bad field %q (want dc=... or owner=...)", name, field)
+			}
+			if seen[k] {
+				return nil, fmt.Errorf("placement: table %q: duplicate %s axis", name, k)
+			}
+			seen[k] = true
+			var err error
+			switch k {
+			case "dc":
+				ts.data, err = parseAxis(v, 0)
+			case "owner":
+				ts.owner, err = parseAxis(v, 1)
+			default:
+				err = fmt.Errorf("unknown axis %q (want dc or owner)", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("placement: table %q: %w", name, err)
+			}
+		}
+		if name == "*" {
+			c := ts
+			p.catch = &c
+		} else {
+			p.tables[name] = ts
+		}
+	}
+	if len(p.tables) == 0 && p.catch == nil {
+		return nil, fmt.Errorf("placement: empty spec")
+	}
+	return p, nil
+}
+
+// MustParse is Parse for compile-time-constant specs; it panics on error.
+func MustParse(spec string) *Placement {
+	p, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// splitTop splits s on sep outside parentheses, dropping empty parts, so
+// "dc=range(<a:0, <b:1)" stays one field despite its inner space.
+func splitTop(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	flush := func(end int) {
+		if f := strings.TrimSpace(s[start:end]); f != "" {
+			out = append(out, f)
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				flush(i)
+				start = i + 1
+			}
+		}
+	}
+	flush(len(s))
+	return out
+}
+
+// parseAxis reads one axis. base is the smallest legal target: 0 for the
+// dc axis, 1 for the owner axis (which alone also accepts "any").
+func parseAxis(v string, base int) (axis, error) {
+	v = strings.TrimSpace(v)
+	if v == "any" {
+		if base != 1 {
+			return axis{}, fmt.Errorf("axis %q: \"any\" is owner-only", v)
+		}
+		return axis{kind: axisAny}, nil
+	}
+	if n, err := strconv.Atoi(v); err == nil {
+		if n < base {
+			return axis{}, fmt.Errorf("axis %q: target below %d", v, base)
+		}
+		return axis{kind: axisFixed, lo: n, hi: n}, nil
+	}
+	name, inner, ok := strings.Cut(strings.TrimSuffix(v, ")"), "(")
+	if !ok || !strings.HasSuffix(v, ")") {
+		return axis{}, fmt.Errorf("bad axis %q", v)
+	}
+	var kind axisKind
+	switch name {
+	case "hash":
+		kind = axisHash
+	case "mod":
+		kind = axisMod
+	case "mod2":
+		kind = axisMod2
+	case "range":
+		return parseRange(inner, base)
+	default:
+		return axis{}, fmt.Errorf("bad axis %q (want a target, any, hash, mod, mod2, or range)", v)
+	}
+	lo, hi := base, 0
+	if los, his, spanned := strings.Cut(inner, "-"); spanned {
+		l, err1 := strconv.Atoi(strings.TrimSpace(los))
+		h, err2 := strconv.Atoi(strings.TrimSpace(his))
+		if err1 != nil || err2 != nil || l < base || h < l {
+			return axis{}, fmt.Errorf("axis %q: bad span", v)
+		}
+		lo, hi = l, h
+	} else {
+		n, err := strconv.Atoi(strings.TrimSpace(inner))
+		if err != nil || n < 1 {
+			return axis{}, fmt.Errorf("axis %q: bad target count", v)
+		}
+		hi = base + n - 1
+	}
+	return axis{kind: kind, lo: lo, hi: hi}, nil
+}
+
+func parseRange(inner string, base int) (axis, error) {
+	a := axis{kind: axisRange}
+	for _, ent := range splitTop(inner, ',') {
+		i := strings.LastIndexByte(ent, ':')
+		if i < 0 {
+			return axis{}, fmt.Errorf("range entry %q: want <key:target or *:target", ent)
+		}
+		target, err := strconv.Atoi(strings.TrimSpace(ent[i+1:]))
+		if err != nil || target < base {
+			return axis{}, fmt.Errorf("range entry %q: bad target", ent)
+		}
+		switch key := strings.TrimSpace(ent[:i]); {
+		case key == "*":
+			if len(a.entries) > 0 && a.entries[len(a.entries)-1].below == "" {
+				return axis{}, fmt.Errorf("range: duplicate \"*\" entry")
+			}
+			a.entries = append(a.entries, rangeEntry{target: target})
+		case strings.HasPrefix(key, "<") && len(key) > 1:
+			below := key[1:]
+			if strings.ContainsAny(below, "(),*;\n") {
+				return axis{}, fmt.Errorf("range key %q: reserved character", below)
+			}
+			if n := len(a.entries); n > 0 {
+				if last := a.entries[n-1]; last.below == "" || below <= last.below {
+					return axis{}, fmt.Errorf("range keys must be strictly increasing with \"*\" last (at %q)", below)
+				}
+			}
+			a.entries = append(a.entries, rangeEntry{below: below, target: target})
+		default:
+			return axis{}, fmt.Errorf("range entry %q: want <key:target or *:target", ent)
+		}
+	}
+	if n := len(a.entries); n == 0 || a.entries[n-1].below != "" {
+		return axis{}, fmt.Errorf("range needs a final \"*\" catch-all entry")
+	}
+	return a, nil
+}
+
+// Hash returns the uniform placement: every listed table hashed across
+// all dcs data components, update ownership hashed across all tcs
+// transactional components (owner "any" when tcs < 1).
+func Hash(tables []string, dcs, tcs int) *Placement {
+	if dcs < 1 {
+		dcs = 1
+	}
+	p := &Placement{tables: make(map[string]tableSpec, len(tables))}
+	for _, t := range tables {
+		ts := tableSpec{data: axis{kind: axisHash, lo: 0, hi: dcs - 1}, owner: axis{kind: axisAny}}
+		if tcs >= 1 {
+			ts.owner = axis{kind: axisHash, lo: 1, hi: tcs}
+		}
+		p.tables[t] = ts
+	}
+	return p
+}
+
+// String prints the canonical spec: clauses sorted by table name with the
+// "*" catch-all last, both axes explicit, no optional whitespace inside
+// axes. Parse(p.String()) reproduces p.
+func (p *Placement) String() string {
+	names := make([]string, 0, len(p.tables))
+	for name := range p.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	writeClause := func(name string, ts tableSpec) {
+		if b.Len() > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s: dc=%s owner=%s", name, ts.data.format(0), ts.owner.format(1))
+	}
+	for _, name := range names {
+		writeClause(name, p.tables[name])
+	}
+	if p.catch != nil {
+		writeClause("*", *p.catch)
+	}
+	return b.String()
+}
+
+// Tables returns the explicitly placed table names, sorted (the "*"
+// catch-all is not a table). Deployments use it to create tables when
+// Options.Tables is not given.
+func (p *Placement) Tables() []string {
+	names := make([]string, 0, len(p.tables))
+	for name := range p.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (p *Placement) spec(table string) (tableSpec, error) {
+	if ts, ok := p.tables[table]; ok {
+		return ts, nil
+	}
+	if p.catch != nil {
+		return *p.catch, nil
+	}
+	return tableSpec{}, fmt.Errorf("placement: table %q: %w", table, base.ErrUnknownTable)
+}
+
+// DC implements Router: the data component index serving (table, key).
+// Unknown tables fail typed (base.ErrUnknownTable) unless a "*" clause
+// catches them.
+func (p *Placement) DC(table, key string) (int, error) {
+	ts, err := p.spec(table)
+	if err != nil {
+		return 0, err
+	}
+	return ts.data.target(key), nil
+}
+
+// Owner implements Router: the TC ID owning update rights for
+// (table, key), or zero when the table's ownership axis is "any".
+func (p *Placement) Owner(table, key string) (base.TCID, error) {
+	ts, err := p.spec(table)
+	if err != nil {
+		return 0, err
+	}
+	if ts.owner.kind == axisAny {
+		return 0, nil
+	}
+	return base.TCID(ts.owner.target(key)), nil
+}
+
+// Validate checks every reachable target against the deployment shape:
+// data targets must be DC indices below dcs, ownership targets TC IDs at
+// most tcs. Deployments validate at build time so a misdeclared spec
+// fails loudly instead of misrouting at run time.
+func (p *Placement) Validate(dcs, tcs int) error {
+	check := func(name string, ts tableSpec) error {
+		if m := ts.data.maxTarget(); m >= dcs {
+			return fmt.Errorf("placement: table %q: dc axis reaches DC %d, deployment has %d", name, m, dcs)
+		}
+		if ts.owner.kind != axisAny {
+			if m := ts.owner.maxTarget(); m > tcs {
+				return fmt.Errorf("placement: table %q: owner axis reaches TC %d, fleet has %d", name, m, tcs)
+			}
+		}
+		return nil
+	}
+	for name, ts := range p.tables {
+		if err := check(name, ts); err != nil {
+			return err
+		}
+	}
+	if p.catch != nil {
+		return check("*", *p.catch)
+	}
+	return nil
+}

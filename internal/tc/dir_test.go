@@ -1,0 +1,182 @@
+package tc
+
+import (
+	"context"
+	"testing"
+
+	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/dc"
+)
+
+// TestDirRestart: with Config.Dir the TC-log survives process death, and
+// a new TC built over the same directory comes back in the needs-recovery
+// state, runs the ordinary §5.3.2 restart, and ends up with committed
+// writes intact, losers undone, and a strictly larger incarnation epoch.
+func TestDirRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, err := dc.New(dc.Config{Name: "dc0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+
+	tc1, err := New(Config{ID: 1, Dir: dir}, []base.Service{d}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc1.NeedsRecovery() {
+		t.Fatal("fresh directory must not need recovery")
+	}
+	if e := tc1.Epoch(); e != 1 {
+		t.Fatalf("fresh epoch = %d, want 1", e)
+	}
+	ctx := context.Background()
+	if err := tc1.RunTxnOnce(ctx, TxnOptions{}, func(x *Txn) error {
+		return x.Insert("t", "committed", []byte("keep"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A loser: its op record forced into the stable log, no commit record.
+	loser := tc1.Begin(ctx, TxnOptions{})
+	if err := loser.Insert("t", "loser", []byte("undo-me")); err != nil {
+		t.Fatal(err)
+	}
+	tc1.Log().Force()
+	// Process death: nothing is closed or flushed; the file holds exactly
+	// what was forced.
+	tc1.Close()
+
+	tc2, err := New(Config{ID: 1, Dir: dir}, []base.Service{d}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc2.Close()
+	if !tc2.NeedsRecovery() {
+		t.Fatal("reopened directory must need recovery")
+	}
+	if err := tc2.Recover(); err != nil {
+		t.Fatalf("restart from dir: %v", err)
+	}
+	if tc2.NeedsRecovery() {
+		t.Fatal("still down after Recover")
+	}
+	if e := tc2.Epoch(); e < 2 {
+		t.Fatalf("restarted epoch = %d, want >= 2", e)
+	}
+
+	if err := tc2.RunTxnOnce(ctx, TxnOptions{}, func(x *Txn) error {
+		v, ok, err := x.Read("t", "committed")
+		if err != nil {
+			return err
+		}
+		if !ok || string(v) != "keep" {
+			t.Fatalf("committed write lost across restart: found=%v %q", ok, v)
+		}
+		_, ok, err = x.Read("t", "loser")
+		if err != nil {
+			return err
+		}
+		if ok {
+			t.Fatal("loser write survived restart undo")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// New work commits under the new incarnation, and a second restart
+	// keeps the epoch strictly monotonic.
+	if err := tc2.RunTxnOnce(ctx, TxnOptions{}, func(x *Txn) error {
+		return x.Upsert("t", "second-life", []byte("v2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e2 := tc2.Epoch()
+	tc2.Close()
+	tc3, err := New(Config{ID: 1, Dir: dir}, []base.Service{d}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc3.Close()
+	if err := tc3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if tc3.Epoch() <= e2 {
+		t.Fatalf("epoch not monotonic across restarts: %d -> %d", e2, tc3.Epoch())
+	}
+	if err := tc3.RunTxnOnce(ctx, TxnOptions{}, func(x *Txn) error {
+		v, ok, err := x.Read("t", "second-life")
+		if err != nil {
+			return err
+		}
+		if !ok || string(v) != "v2" {
+			t.Fatalf("second incarnation's write lost: found=%v %q", ok, v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirRestartAfterCheckpoint: truncation must not confuse the reopen —
+// the checkpoint record carries the epoch across truncation, and redo
+// replays only from the redo scan start point.
+func TestDirRestartAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	d, err := dc.New(dc.Config{Name: "dc0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	tc1, err := New(Config{ID: 1, Dir: dir}, []base.Service{d}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := tc1.RunTxnOnce(ctx, TxnOptions{}, func(x *Txn) error {
+			return x.Upsert("t", "k"+string(rune('a'+i)), []byte{byte(i)})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tc1.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc1.RunTxnOnce(ctx, TxnOptions{}, func(x *Txn) error {
+		return x.Upsert("t", "post-ckpt", []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tc1.Close()
+
+	tc2, err := New(Config{ID: 1, Dir: dir}, []base.Service{d}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc2.Close()
+	if err := tc2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if tc2.Epoch() < 2 {
+		t.Fatalf("epoch lost across truncation: %d", tc2.Epoch())
+	}
+	if err := tc2.RunTxnOnce(ctx, TxnOptions{}, func(x *Txn) error {
+		for i := 0; i < 20; i++ {
+			if _, ok, err := x.Read("t", "k"+string(rune('a'+i))); err != nil || !ok {
+				t.Fatalf("pre-checkpoint write %d lost (ok=%v err=%v)", i, ok, err)
+			}
+		}
+		if _, ok, err := x.Read("t", "post-ckpt"); err != nil || !ok {
+			t.Fatalf("post-checkpoint write lost (ok=%v err=%v)", ok, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

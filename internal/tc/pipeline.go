@@ -287,15 +287,17 @@ func (p *pipeline) complete(items []pipeItem, results []*base.Result) {
 	}
 }
 
-// postOp routes op to its DC pipeline on behalf of x. op.Epoch must have
-// been stamped *before* the op's LSN was assigned: a crash+restart racing
-// the post mints the new epoch before the reused LSN space is handed out,
-// so an op whose LSN belongs to the dead incarnation's log can never carry
-// the live epoch and feed its ack into the reset tracker under a reused
-// LSN (nor pass the DC's fence).
-func (t *TC) postOp(x *Txn, op *base.Op) {
+// postOp hands op to the pipeline of the DC the caller resolved with
+// dcIndex (before the op record was appended, so only routable operations
+// consume logged LSNs). op.Epoch must have been stamped *before* the op's
+// LSN was assigned: a crash+restart racing the post mints the new epoch
+// before the reused LSN space is handed out, so an op whose LSN belongs
+// to the dead incarnation's log can never carry the live epoch and feed
+// its ack into the reset tracker under a reused LSN (nor pass the DC's
+// fence).
+func (t *TC) postOp(x *Txn, op *base.Op, dcIdx int) {
 	x.pend.add()
-	t.pipes[t.route(op.Table, op.Key)].post(pipeItem{op: op, pend: &x.pend})
+	t.pipes[dcIdx].post(pipeItem{op: op, pend: &x.pend})
 }
 
 // pipelined reports whether writes ship asynchronously.

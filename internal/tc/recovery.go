@@ -10,6 +10,15 @@ import (
 	"github.com/cidr09/unbundled/internal/wal"
 )
 
+// errLockTableLost is recorded against lock waits orphaned by a TC
+// crash: the lock table the waiter was queued in vanished with the
+// incarnation, so nothing will ever grant it. It folds into the taxonomy
+// as a component-unavailable failure (transient — a retry lands on the
+// recovered incarnation), and Txn.lock recognizes it specially: the
+// orphaned transaction must NOT run its own rollback, because restart
+// owns the undo of everything the dead incarnation logged.
+var errLockTableLost = fmt.Errorf("tc: lock table lost in TC crash: %w", base.ErrUnavailable)
+
 // Crash simulates a TC process failure: the log buffer (unforced tail),
 // lock table, transaction table, ack bookkeeping, and queued pipeline
 // operations vanish. The stable log survives. LSNs above the stable end
@@ -27,8 +36,13 @@ func (t *TC) Crash() {
 	t.txns = make(map[base.TxnID]*Txn)
 	t.mu.Unlock()
 	t.log.Crash()
+	// The superseded lock table is poisoned, not just dropped: waiters
+	// still queued in it are blocked behind locks that no longer exist
+	// and would otherwise sleep forever.
+	old := t.locks
 	t.locks = lockmgr.New()
 	t.locks.Timeout = t.cfg.LockTimeout
+	old.Poison(errLockTableLost)
 	t.acks.Reset(0)
 }
 
@@ -143,7 +157,14 @@ func (t *TC) Recover() error {
 		}
 		op.LSN = rec.LSN
 		op.Epoch = newEpoch // resent by (and under the fence of) this incarnation
-		h := t.dcs[t.route(op.Table, op.Key)]
+		idx, err := t.dcIndex(op.Table, op.Key)
+		if err != nil {
+			// The op routed when it was logged: a failing lookup means the
+			// placement changed underneath a durable log, and redo cannot
+			// repeat history against the wrong DC. Fail the restart loudly.
+			return fmt.Errorf("tc %d: redo @%d: %w", t.cfg.ID, rec.LSN, err)
+		}
+		h := t.dcs[idx]
 		if res := h.svc.Perform(context.Background(), op); res.Code != base.CodeOK &&
 			res.Code != base.CodeDuplicate && res.Code != base.CodeNotFound {
 			return fmt.Errorf("tc %d: redo @%d failed: %v", t.cfg.ID, rec.LSN, res.Code)
@@ -173,12 +194,16 @@ func (t *TC) Recover() error {
 	// are guaranteed to be eventually removed) ---
 	for _, keys := range winnersVersioned {
 		for _, tk := range keys {
+			idx, err := t.dcIndex(tk.table, tk.key)
+			if err != nil {
+				return fmt.Errorf("tc %d: re-finalize %s/%q: %w", t.cfg.ID, tk.table, tk.key, err)
+			}
 			op := &base.Op{TC: t.cfg.ID, Kind: base.OpCommitVersions,
 				Table: tk.table, Key: tk.key}
 			rec := &wal.Record{Kind: recOp, Payload: encodeOpPayload(op, nil, false)}
 			op.Epoch = newEpoch
 			op.LSN = t.log.AppendAssign(rec)
-			t.perform(context.Background(), op)
+			t.performOn(context.Background(), t.dcs[idx], op)
 		}
 	}
 	t.log.Force()
@@ -225,7 +250,11 @@ func (t *TC) RecoverDC(idx int) error {
 		if err != nil {
 			return fmt.Errorf("tc %d: dc-redo decode @%d: %w", t.cfg.ID, rec.LSN, err)
 		}
-		if t.route(op.Table, op.Key) != idx {
+		opIdx, err := t.dcIndex(op.Table, op.Key)
+		if err != nil {
+			return fmt.Errorf("tc %d: dc-redo @%d: %w", t.cfg.ID, rec.LSN, err)
+		}
+		if opIdx != idx {
 			continue
 		}
 		op.LSN = rec.LSN

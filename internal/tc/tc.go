@@ -21,12 +21,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/cidr09/unbundled/internal/base"
 	"github.com/cidr09/unbundled/internal/lockmgr"
+	"github.com/cidr09/unbundled/internal/placement"
 	"github.com/cidr09/unbundled/internal/storage"
 	"github.com/cidr09/unbundled/internal/wal"
 )
@@ -90,6 +92,15 @@ type Config struct {
 	// MaxBatch caps the operations coalesced into one shipped batch
 	// message (default 64).
 	MaxBatch int
+	// Dir, when nonempty, backs the TC-log with a file in that directory
+	// (storage.OpenLogStoreFile): forced records survive process death.
+	// When the directory already holds a previous incarnation's log, New
+	// returns the TC in the needs-recovery state — Recover must run (and
+	// reach the DCs) before the TC serves transactions; core runs it
+	// automatically for in-process deployments, and cmd/unbundled-tc
+	// after its DC connections are up. Empty keeps the in-memory
+	// simulated stable log, which dies with the process.
+	Dir string
 }
 
 func (c Config) withDefaults() Config {
@@ -170,7 +181,7 @@ type TC struct {
 	log    *wal.Log
 	locks  *lockmgr.Manager
 	dcs    []*dcHandle
-	route  func(table, key string) int
+	router placement.Router
 
 	mu         sync.Mutex
 	down       bool
@@ -205,10 +216,17 @@ type TC struct {
 	broadcastGen                          atomic.Uint64
 }
 
-// New builds a TC over the given DC connections. route maps (table, key)
-// to an index into dcs; it must be deterministic, since restart redo uses
-// it to re-deliver logged operations.
-func New(cfg Config, dcs []base.Service, route func(table, key string) int) (*TC, error) {
+// New builds a TC over the given DC connections. router resolves data
+// placement ((table, key) to an index into dcs) and §6.1 update
+// ownership; it must be deterministic and stable across restarts, since
+// restart redo uses it to re-deliver logged operations. A nil router
+// places everything on DC 0 with no ownership partition.
+//
+// With Config.Dir naming a directory a previous incarnation logged into,
+// the TC comes back in the needs-recovery state (NeedsRecovery reports
+// true) and must run Recover — the ordinary §5.3.2 restart over the
+// reopened stable log — before serving transactions.
+func New(cfg Config, dcs []base.Service, router placement.Router) (*TC, error) {
 	cfg = cfg.withDefaults()
 	if cfg.ID == 0 {
 		return nil, errors.New("tc: ID must be nonzero")
@@ -216,10 +234,18 @@ func New(cfg Config, dcs []base.Service, route func(table, key string) int) (*TC
 	if len(dcs) == 0 {
 		return nil, errors.New("tc: need at least one DC")
 	}
-	if route == nil {
-		route = func(string, string) int { return 0 }
+	if router == nil {
+		router = placement.RouteFunc(nil)
 	}
-	lmedia := storage.NewLogStore()
+	var lmedia *storage.LogStore
+	if cfg.Dir != "" {
+		var err error
+		if lmedia, err = storage.OpenLogStoreFile(filepath.Join(cfg.Dir, "tclog")); err != nil {
+			return nil, fmt.Errorf("tc %d: open tc-log: %w", cfg.ID, err)
+		}
+	} else {
+		lmedia = storage.NewLogStore()
+	}
 	lmedia.ForceDelay = cfg.ForceDelay
 	log, err := wal.New(lmedia)
 	if err != nil {
@@ -230,7 +256,7 @@ func New(cfg Config, dcs []base.Service, route func(table, key string) int) (*TC
 		lmedia:     lmedia,
 		log:        log,
 		locks:      lockmgr.New(),
-		route:      route,
+		router:     router,
 		txns:       make(map[base.TxnID]*Txn),
 		partitions: make(map[string]lockmgr.Partition),
 		acks:       newAckTracker(),
@@ -238,14 +264,24 @@ func New(cfg Config, dcs []base.Service, route func(table, key string) int) (*TC
 		rssp:       1,
 	}
 	t.locks.Timeout = cfg.LockTimeout
-	// Mint incarnation epoch 1 and force it before any operation can be
-	// stamped with it: a crash before this force would otherwise let a
-	// second incarnation mint the same epoch (the log would look empty),
-	// and the DC fence cannot tell two same-numbered incarnations apart.
-	t.epoch.Store(1)
-	eLSN := t.log.AppendAssign(&wal.Record{Kind: recEpoch, Payload: encodeEpoch(1)})
-	t.acks.Complete(eLSN) // local record: no DC round trip
-	t.log.ForceTo(eLSN)
+	if log.LastLSN() > 0 {
+		// The reopened media holds a previous incarnation's log: a process
+		// death is a TC crash whose stable log happens to be on disk.
+		// Restart must run the full §5.3.2 protocol — analysis, DC reset
+		// under a freshly minted epoch, redo, loser undo — which needs the
+		// DCs reachable, so the TC starts down and the caller (or core's
+		// deployment assembly) runs Recover.
+		t.down = true
+	} else {
+		// Mint incarnation epoch 1 and force it before any operation can be
+		// stamped with it: a crash before this force would otherwise let a
+		// second incarnation mint the same epoch (the log would look empty),
+		// and the DC fence cannot tell two same-numbered incarnations apart.
+		t.epoch.Store(1)
+		eLSN := t.log.AppendAssign(&wal.Record{Kind: recEpoch, Payload: encodeEpoch(1)})
+		t.acks.Complete(eLSN) // local record: no DC round trip
+		t.log.ForceTo(eLSN)
+	}
 	for _, svc := range dcs {
 		t.dcs = append(t.dcs, newDCHandle(svc))
 	}
@@ -282,6 +318,32 @@ func (t *TC) RSSP() base.LSN {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.rssp
+}
+
+// NeedsRecovery reports whether the TC was built over a previous
+// incarnation's log (Config.Dir) and has not yet run Recover: it is down
+// until the §5.3.2 restart protocol completes against its DCs.
+func (t *TC) NeedsRecovery() bool { return t.isDown() }
+
+// Owner exposes the router's §6.1 ownership axis (0: unowned).
+func (t *TC) Owner(table, key string) (base.TCID, error) {
+	return t.router.Owner(table, key)
+}
+
+// dcIndex resolves the data placement of (table, key) to an index into
+// the TC's DC connections, failing typed on tables the placement does not
+// cover (base.ErrUnknownTable) and loudly on indices the deployment does
+// not have (a misdeclared spec; deployments validate at build time).
+func (t *TC) dcIndex(table, key string) (int, error) {
+	idx, err := t.router.DC(table, key)
+	if err != nil {
+		return 0, fmt.Errorf("tc %d: %w", t.cfg.ID, err)
+	}
+	if idx < 0 || idx >= len(t.dcs) {
+		return 0, fmt.Errorf("tc %d: placement puts %s/%q on DC %d of a %d-DC deployment",
+			t.cfg.ID, table, key, idx, len(t.dcs))
+	}
+	return idx, nil
 }
 
 // ActiveTxns returns the number of transactions currently executing at
@@ -364,8 +426,10 @@ func (t *TC) isDown() bool {
 	return t.down
 }
 
-// perform routes and sends one operation, waiting for the reply, and feeds
-// the ack tracker (the source of low-water marks). Like the pipeline's
+// performOn sends one operation to the resolved DC handle, waiting for
+// the reply, and feeds the ack tracker (the source of low-water marks).
+// Callers resolve the handle with dcIndex *before* the op's LSN is
+// assigned, so an unroutable operation is never logged. Like the pipeline's
 // complete, the ack is epoch-fenced: a zombie call whose reply lands after
 // a Crash+Recover carries a dead incarnation's stamp and must not complete
 // an LSN the new incarnation is reusing (the lsn <= lwm guard in the
@@ -381,11 +445,10 @@ func (t *TC) isDown() bool {
 // completes its LSN: reads mutate nothing and are never reflected in
 // cached pages, so the low-water mark may pass them, and not completing
 // would leave a permanent gap that stalls checkpoints.
-func (t *TC) perform(ctx context.Context, op *base.Op) *base.Result {
+func (t *TC) performOn(ctx context.Context, h *dcHandle, op *base.Op) *base.Result {
 	if op.Epoch == 0 {
 		op.Epoch = t.Epoch()
 	}
-	h := t.dcs[t.route(op.Table, op.Key)]
 	res := &base.Result{LSN: op.LSN, Code: base.CodeCancelled}
 	if err := h.waitReady(ctx); err == nil {
 		t.opsSent.Add(1)

@@ -655,3 +655,66 @@ func TestInverseOp(t *testing.T) {
 		t.Fatalf("finalize inverse must be nil: %v", inv)
 	}
 }
+
+// TestCrashFailsBlockedLockWaiters: a transaction blocked in a lock wait
+// when the TC crashes must fail out promptly with a transient error (the
+// lock table it was queued in vanished with the incarnation) instead of
+// sleeping forever, and it must NOT run its own rollback — restart owns
+// the undo of everything the dead incarnation logged. Regression test
+// for the hang moviesim -crash used to hit.
+func TestCrashFailsBlockedLockWaiters(t *testing.T) {
+	tcx, _ := newPair(t, Config{})
+	ctx := context.Background()
+
+	holder := tcx.Begin(ctx, TxnOptions{})
+	if err := holder.Update("t", "contended", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("setup: %v", err)
+	}
+	if err := holder.Insert("t", "contended", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		x := tcx.Begin(ctx, TxnOptions{})
+		if err := x.Insert("t", "unrelated", []byte("w")); err != nil {
+			waiterErr <- err
+			return
+		}
+		waiterErr <- x.Update("t", "contended", []byte("w")) // blocks on holder's X lock
+	}()
+	for i := 0; tcx.Locks().Stats().Waited == 0; i++ {
+		if i > 2000 {
+			t.Fatal("waiter never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	redoBefore := tcx.Stats().UndoOps
+	tcx.Crash()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, base.ErrUnavailable) {
+			t.Fatalf("orphaned waiter = %v, want a transient ErrUnavailable", err)
+		}
+		if !base.IsTransient(err) {
+			t.Fatalf("orphaned waiter error %v must be transient (a retry lands on the recovered TC)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lock waiter still blocked after TC crash (the moviesim hang)")
+	}
+	// The orphan did not roll itself back: no inverse operations were sent
+	// by anyone between crash and recovery.
+	if undos := tcx.Stats().UndoOps; undos != redoBefore {
+		t.Fatalf("orphaned waiter ran undo (%d -> %d undo ops)", redoBefore, undos)
+	}
+	if err := tcx.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered incarnation serves normally.
+	if err := tcx.RunTxnOnce(ctx, TxnOptions{}, func(x *Txn) error {
+		return x.Upsert("t", "contended", []byte("after"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

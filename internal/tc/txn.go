@@ -172,6 +172,18 @@ func (x *Txn) lockFor(table, key string, mode lockmgr.Mode) error {
 func (x *Txn) lock(res lockmgr.Resource, mode lockmgr.Mode) error {
 	err := x.tc.locks.LockWait(x.ctx, x.id, res, mode, x.opts.lockWait(x.tc.cfg.LockTimeout))
 	if err != nil {
+		if errors.Is(err, errLockTableLost) {
+			// The incarnation that owned this wait crashed: restart
+			// analysis undoes whatever the transaction logged, so the
+			// orphan must not roll itself back — its inverse operations
+			// would race the new incarnation, against which it holds no
+			// locks. It just dies and reports a transient failure.
+			x.state = txnAborted
+			x.tc.mu.Lock()
+			delete(x.tc.txns, x.id)
+			x.tc.mu.Unlock()
+			return err
+		}
 		if errors.Is(err, base.ErrDeadlock) {
 			x.tc.deadlocks.Add(1)
 		}
@@ -196,9 +208,19 @@ func (x *Txn) Read(table, key string) ([]byte, bool, error) {
 }
 
 // readOp issues the read operation (allocating a request ID) and caches.
+// Reads are placement-routed but never ownership-checked: §6.1 partitions
+// update responsibility only — every TC may read everywhere. An
+// unroutable read (no placement clause for the table) aborts the
+// transaction like a failed lock would: the transaction cannot proceed
+// and locks must not leak.
 func (x *Txn) readOp(table, key string, flavor base.ReadFlavor, cache bool) ([]byte, bool, error) {
+	idx, err := x.tc.dcIndex(table, key)
+	if err != nil {
+		_ = x.Abort()
+		return nil, false, err
+	}
 	lsn := x.tc.log.AllocLSN()
-	res := x.tc.perform(x.ctx, &base.Op{TC: x.tc.cfg.ID, LSN: lsn, Kind: base.OpRead,
+	res := x.tc.performOn(x.ctx, x.tc.dcs[idx], &base.Op{TC: x.tc.cfg.ID, LSN: lsn, Kind: base.OpRead,
 		Table: table, Key: key, Flavor: flavor})
 	switch res.Code {
 	case base.CodeOK:
@@ -301,6 +323,26 @@ func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
 	if x.opts.ReadOnly {
 		return fmt.Errorf("tc: %s %s/%s: %w", kind, table, key, base.ErrReadOnly)
 	}
+	// §6.1 enforcement: update responsibility is partitioned among the
+	// TCs, and this TC refuses to write outside its own partition —
+	// before anything is locked or logged, so a misrouted transaction
+	// aborts cleanly with the permanent ErrWrongOwner and its effects
+	// never reach a DC owned by somebody else's lock space.
+	owner, err := x.tc.router.Owner(table, key)
+	if err != nil {
+		_ = x.Abort()
+		return fmt.Errorf("tc %d: %s %s/%q: %w", x.tc.cfg.ID, kind, table, key, err)
+	}
+	if owner != 0 && owner != x.tc.cfg.ID {
+		_ = x.Abort()
+		return fmt.Errorf("tc %d: %s %s/%q is owned by tc %d: %w",
+			x.tc.cfg.ID, kind, table, key, owner, base.ErrWrongOwner)
+	}
+	dcIdx, err := x.tc.dcIndex(table, key)
+	if err != nil {
+		_ = x.Abort()
+		return err
+	}
 	if err := x.lockFor(table, key, lockmgr.X); err != nil {
 		return err
 	}
@@ -347,9 +389,9 @@ func (x *Txn) write(kind base.OpKind, table, key string, val []byte) error {
 	lsn := x.tc.log.AppendAssign(rec)
 	op.LSN = lsn
 	if x.tc.pipelined() {
-		x.tc.postOp(x, op)
+		x.tc.postOp(x, op, dcIdx)
 	} else {
-		res := x.tc.perform(x.sendCtx, op)
+		res := x.tc.performOn(x.sendCtx, x.tc.dcs[dcIdx], op)
 		if res.Code != base.CodeOK {
 			// Cannot happen given the pre-checks (the lock freezes the key);
 			// surface loudly if the invariant is ever broken.
@@ -508,16 +550,24 @@ func (x *Txn) finish() {
 
 func (x *Txn) finalizeOp(kind base.OpKind, tk tableKey) {
 	t := x.tc
+	// The forward write resolved this key's placement when it was issued,
+	// so under a stable placement this cannot fail; resolving before the
+	// record is appended keeps the invariant that only routable
+	// operations ever consume a logged LSN.
+	idx, err := t.dcIndex(tk.table, tk.key)
+	if err != nil {
+		return
+	}
 	op := &base.Op{TC: t.cfg.ID, Kind: kind, Table: tk.table, Key: tk.key}
 	rec := &wal.Record{Kind: recOp, Txn: x.id, Prev: 0,
 		Payload: encodeOpPayload(op, nil, false)}
 	op.Epoch = t.Epoch() // before the LSN assignment; see postOp
 	op.LSN = t.log.AppendAssign(rec)
 	if t.pipelined() {
-		t.postOp(x, op)
+		t.postOp(x, op, idx)
 	} else {
 		// Logged: delivery must complete regardless of cancellation.
-		t.perform(x.sendCtx, op)
+		t.performOn(x.sendCtx, t.dcs[idx], op)
 	}
 }
 
@@ -563,11 +613,18 @@ func (t *TC) undoChain(txn base.TxnID, lastLSN base.LSN) {
 				return
 			}
 			if inv := inverseOp(op, prior, priorFound); inv != nil {
+				// The forward op routed when it was logged; a failure here
+				// means the placement changed underneath a live log, which
+				// nothing can undo against — stop like a truncated chain.
+				idx, err := t.dcIndex(inv.Table, inv.Key)
+				if err != nil {
+					return
+				}
 				clr := &wal.Record{Kind: recCLR, Txn: txn, Prev: cur,
 					NextUndo: rec.Prev, Payload: encodeOpPayload(inv, nil, false)}
 				inv.Epoch = t.Epoch() // before the LSN assignment; see postOp
 				inv.LSN = t.log.AppendAssign(clr)
-				t.perform(context.Background(), inv)
+				t.performOn(context.Background(), t.dcs[idx], inv)
 				t.undoOps.Add(1)
 			}
 			cur = rec.Prev
@@ -622,7 +679,10 @@ func (x *Txn) Scan(table, lo, hi string, limit int) (keys []string, vals [][]byt
 				return nil, nil, err
 			}
 		}
-		res := x.rangeOp(table, lo, hi, limit, base.ReadPlain)
+		res, err := x.rangeOp(table, lo, hi, limit, base.ReadPlain)
+		if err != nil {
+			return nil, nil, err
+		}
 		if err := x.resErr(res); err != nil {
 			return nil, nil, err
 		}
@@ -640,9 +700,15 @@ func (x *Txn) fetchAheadScan(table, lo, hi string, limit int) ([]string, [][]byt
 	if limit <= 0 || limit > x.tc.cfg.ProbeWidth {
 		probeLimit = int32(x.tc.cfg.ProbeWidth)
 	}
-	// Initial speculative probe.
+	// Initial speculative probe. Range reads route by their low key: the
+	// range protocols scan within one table partition.
+	idx, err := x.tc.dcIndex(table, lo)
+	if err != nil {
+		_ = x.Abort()
+		return nil, nil, err
+	}
 	x.tc.probes.Add(1)
-	probe := x.tc.perform(x.ctx, &base.Op{TC: x.tc.cfg.ID, LSN: x.tc.log.AllocLSN(),
+	probe := x.tc.performOn(x.ctx, x.tc.dcs[idx], &base.Op{TC: x.tc.cfg.ID, LSN: x.tc.log.AllocLSN(),
 		Kind: base.OpScanProbe, Table: table, Key: lo, EndKey: hi, Limit: probeLimit})
 	if err := x.resErr(probe); err != nil {
 		return nil, nil, err
@@ -658,7 +724,10 @@ func (x *Txn) fetchAheadScan(table, lo, hi string, limit int) ([]string, [][]byt
 			}
 			locked[k] = true
 		}
-		res := x.rangeOp(table, lo, hi, limit, base.ReadPlain)
+		res, err := x.rangeOp(table, lo, hi, limit, base.ReadPlain)
+		if err != nil {
+			return nil, nil, err
+		}
 		if err := x.resErr(res); err != nil {
 			return nil, nil, err
 		}
@@ -691,7 +760,10 @@ func (x *Txn) ScanCommitted(table, lo, hi string, limit int) ([]string, [][]byte
 	if err := x.drain(); err != nil {
 		return nil, nil, err
 	}
-	res := x.rangeOp(table, lo, hi, limit, base.ReadCommitted)
+	res, err := x.rangeOp(table, lo, hi, limit, base.ReadCommitted)
+	if err != nil {
+		return nil, nil, err
+	}
 	if err := x.resErr(res); err != nil {
 		return nil, nil, err
 	}
@@ -706,7 +778,10 @@ func (x *Txn) ScanDirty(table, lo, hi string, limit int) ([]string, [][]byte, er
 	if err := x.drain(); err != nil {
 		return nil, nil, err
 	}
-	res := x.rangeOp(table, lo, hi, limit, base.ReadDirty)
+	res, err := x.rangeOp(table, lo, hi, limit, base.ReadDirty)
+	if err != nil {
+		return nil, nil, err
+	}
 	if err := x.resErr(res); err != nil {
 		return nil, nil, err
 	}
@@ -724,8 +799,15 @@ func (x *Txn) resErr(res *base.Result) error {
 	return res.Err()
 }
 
-func (x *Txn) rangeOp(table, lo, hi string, limit int, flavor base.ReadFlavor) *base.Result {
-	return x.tc.perform(x.ctx, &base.Op{TC: x.tc.cfg.ID, LSN: x.tc.log.AllocLSN(),
+// rangeOp issues one range read, routed by the low key (scans stay within
+// one table partition); an unroutable table aborts like readOp.
+func (x *Txn) rangeOp(table, lo, hi string, limit int, flavor base.ReadFlavor) (*base.Result, error) {
+	idx, err := x.tc.dcIndex(table, lo)
+	if err != nil {
+		_ = x.Abort()
+		return nil, err
+	}
+	return x.tc.performOn(x.ctx, x.tc.dcs[idx], &base.Op{TC: x.tc.cfg.ID, LSN: x.tc.log.AllocLSN(),
 		Kind: base.OpRangeRead, Table: table, Key: lo, EndKey: hi,
-		Limit: int32(limit), Flavor: flavor})
+		Limit: int32(limit), Flavor: flavor}), nil
 }

@@ -7,6 +7,8 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+
+	"github.com/cidr09/unbundled/internal/placement"
 )
 
 // KV describes a key-value transaction mix.
@@ -138,31 +140,26 @@ type MoviePlacement struct {
 	Users    int
 }
 
-// Route implements the deployment routing function.
-func (p MoviePlacement) Route(table, key string) int {
-	switch table {
-	case TableMovies, TableReviews:
-		// key starts "m%06d"
-		return hashPrefix(key, 1, 7) % p.MovieDCs
-	default:
-		return p.MovieDCs + hashPrefix(key, 1, 7)%p.UserDCs
-	}
+// Placement expresses Figure 2's deployment map declaratively: Movies and
+// Reviews cluster by MId across the movie DCs (0..MovieDCs-1), Users and
+// MyReviews by UId across the user DCs that follow; update ownership
+// follows §6.3 — "TC1: responsible for UId mod 2 = 0; TC2: UId mod 2 = 1"
+// — so user-keyed rows are owned by UId mod updateTCs (the mod2 axis digs
+// the UId out of the movie-clustered Reviews key) and the Movies bulk
+// data is owned by TC 1 (the admin/loader TC every scenario here uses).
+func (p MoviePlacement) Placement(updateTCs int) *placement.Placement {
+	userLo, userHi := p.MovieDCs, p.MovieDCs+p.UserDCs-1
+	return placement.MustParse(fmt.Sprintf(
+		"%s: dc=mod(%d) owner=1; "+
+			"%s: dc=mod(%d) owner=mod2(%d); "+
+			"%s: dc=mod(%d-%d) owner=mod(%d); "+
+			"%s: dc=mod(%d-%d) owner=mod(%d)",
+		TableMovies, p.MovieDCs,
+		TableReviews, p.MovieDCs, updateTCs,
+		TableUsers, userLo, userHi, updateTCs,
+		TableMyReviews, userLo, userHi, updateTCs))
 }
 
 // OwnerTC maps a user to the updating TC responsible for it (Figure 2:
 // "TC1: responsible for UId mod 2 = 0; TC2: UId mod 2 = 1").
 func (p MoviePlacement) OwnerTC(user, updateTCs int) int { return user % updateTCs }
-
-func hashPrefix(key string, lo, hi int) int {
-	if hi > len(key) {
-		hi = len(key)
-	}
-	h := 0
-	for _, c := range key[lo:hi] {
-		h = h*10 + int(c-'0')
-	}
-	if h < 0 {
-		h = -h
-	}
-	return h
-}

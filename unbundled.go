@@ -8,16 +8,15 @@
 //
 // # The client API
 //
-// Open a deployment, take its Client, and run transactions through it:
+// Open a deployment under a declarative Placement, take its Client, and
+// run transactions through it:
 //
-//	dep, err := unbundled.Open(unbundled.Options{
-//		TCs: 2, DCs: 2, Tables: []string{"kv"},
-//		Route: func(table, key string) int { ... },
-//	})
+//	pl := unbundled.MustParsePlacement("kv: dc=hash(2) owner=hash(2)")
+//	dep, err := unbundled.Open(unbundled.Options{TCs: 2, DCs: 2, Placement: pl})
 //	...
 //	defer dep.Close()
 //	client := dep.Client()
-//	err = client.RunTxn(ctx, unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
+//	err = client.RunTxnAt(ctx, "kv", "hello", unbundled.TxnOptions{}, func(x *unbundled.Txn) error {
 //		if err := x.Insert("kv", "hello", []byte("world")); err != nil {
 //			return err
 //		}
@@ -26,17 +25,44 @@
 //		return nil
 //	})
 //
-// RunTxn commits when fn returns nil and aborts when it returns an error.
-// Transactions are routed across the deployment's TCs (round-robin with a
-// least-inflight tiebreak) unless TxnOptions.TC pins one — locks live per
-// TC, so multi-TC deployments must partition update ownership per §6.1
-// and pin writes to the owner (see TxnOptions.TC); transient aborts
-// — deadlock victims, lock timeouts, component-unavailable windows — are
-// retried automatically with exponential backoff, bounded by
-// TxnOptions.MaxAttempts. TxnOptions also selects versioned writes
-// (§6.2.2 sharing), read-only enforcement, and a per-transaction lock
-// timeout. Client.Begin starts an explicitly managed transaction (no
-// retry; Commit/Abort are the caller's job).
+// RunTxn commits when fn returns nil and aborts when it returns an error;
+// transient aborts — deadlock victims, lock timeouts, component-
+// unavailable windows — are retried automatically with exponential
+// backoff, bounded by TxnOptions.MaxAttempts. TxnOptions also selects
+// versioned writes (§6.2.2 sharing), read-only enforcement, and a
+// per-transaction lock timeout. Client.Begin starts an explicitly managed
+// transaction (no retry; Commit/Abort are the caller's job).
+//
+// # Placement: data placement and §6.1 update ownership
+//
+// A Placement is the deployment map, declared as a text spec that
+// round-trips (ParsePlacement, Placement.String) so the identical string
+// drives an in-process deployment and a fleet of separate OS processes.
+// Each table clause names two axes:
+//
+//	users: dc=hash(0-1) owner=range(<m:1,*:2); events: dc=2 owner=any
+//
+// The dc axis places data — which DC serves each key (fixed target,
+// hash(n), mod(n) over the key's digit run, or named key ranges). The
+// owner axis partitions update responsibility among the TCs per §6.1:
+// each key has at most one owning TC, all TCs may read everywhere, and a
+// write outside the issuing TC's partition aborts with the permanent
+// ErrWrongOwner — enforced by the TC itself, before anything is locked or
+// logged. Lookups on a table no clause covers fail typed
+// (ErrUnknownTable) rather than silently landing on DC 0; a "*" clause
+// opts into a catch-all. See the internal placement package docs for the
+// full grammar.
+//
+// Transactions route by ownership: hint the write intent with
+// TxnOptions.WriteSet (or the Client.RunTxnAt convenience) and the client
+// sends the transaction to the owning TC; read-only transactions
+// round-robin across TCs with a least-inflight tiebreak, as do writes to
+// unowned keys. TxnOptions.TC still pins explicitly when needed.
+//
+// Options.Route, the pre-placement routing closure, remains only as a
+// deprecated shim: it cannot be serialized into a flag, carries no
+// ownership axis (nothing is enforced), and falls through silently on
+// unknown tables.
 //
 // # Contexts and cancellation
 //
@@ -98,8 +124,23 @@
 // exactly-once semantics are identical; a killed-and-restarted DC process
 // is detected through its re-established connection and caught up by
 // replaying the TC's redo stream automatically. With a data directory
-// (DCConfig.Dir) the DC's stable media survive process death, keeping
-// checkpoint contracts honest across kill -9.
+// (DCConfig.Dir, TCConfig.Dir) the stable media survive process death,
+// keeping checkpoint contracts honest across kill -9; a restarted
+// unbundled-tc reopens its own log and runs the ordinary §5.3.2 restart
+// against the DCs before serving.
+//
+// Placement is what makes the TC tier itself scale out (§6.1): several
+// unbundled-tc processes — each one TC of the fleet, distinguished by
+// -tc-id — share the same unbundled-dc processes under one spec string:
+//
+//	unbundled-dc -listen :7071 -tables kv -dir ./dc1 &
+//	unbundled-dc -listen :7072 -tables kv -dir ./dc2 &
+//	P='kv: dc=hash(2) owner=range(<w2:1,*:2)'
+//	unbundled-tc -dcs :7071,:7072 -placement "$P" -tc-id 1 -tcs 2 -dir ./tc1 &
+//	unbundled-tc -dcs :7071,:7072 -placement "$P" -tc-id 2 -tcs 2 -dir ./tc2 &
+//
+// Each TC fences the DCs with its own incarnation epochs, so killing and
+// restarting one TC process never disturbs the other's traffic (§6.1.2).
 //
 // # Restart safety: incarnation epochs
 //
@@ -132,6 +173,7 @@ import (
 	"github.com/cidr09/unbundled/internal/buffer"
 	"github.com/cidr09/unbundled/internal/core"
 	"github.com/cidr09/unbundled/internal/dc"
+	"github.com/cidr09/unbundled/internal/placement"
 	"github.com/cidr09/unbundled/internal/tc"
 	"github.com/cidr09/unbundled/internal/wire"
 )
@@ -144,11 +186,15 @@ type (
 	// retry, and context plumbing. Obtain it with Deployment.Client.
 	Client = core.Client
 	// TxnOptions shapes one client transaction (versioning, read-only,
-	// lock timeout, TC pin, retry policy). The zero value is a plain
-	// auto-routed read-write transaction.
+	// lock timeout, write-intent routing, TC pin, retry policy). The
+	// zero value is a plain auto-routed read-write transaction.
 	TxnOptions = core.TxnOptions
 	// Options configures Open.
 	Options = core.Options
+	// Placement is the declarative deployment map: data placement
+	// (table/key to DC) and §6.1 update ownership (table/key to owning
+	// TC), round-trippable through ParsePlacement and String.
+	Placement = placement.Placement
 	// TCConfig customizes one transactional component.
 	TCConfig = tc.Config
 	// DCConfig customizes one data component.
@@ -216,7 +262,35 @@ var (
 	// must not be re-executed. Client.RunTxn never retries it, even when
 	// the underlying failure is transient.
 	ErrCommitAmbiguous = tc.ErrCommitAmbiguous
+	// ErrWrongOwner: a write outside the issuing TC's §6.1 update-
+	// ownership partition; the transaction was aborted. Permanent — route
+	// the transaction to the owner (TxnOptions.WriteSet, Client.RunTxnAt)
+	// instead of retrying.
+	ErrWrongOwner = base.ErrWrongOwner
+	// ErrUnknownTable: a placement lookup for a table no clause covers
+	// (and no "*" catch-all exists). Permanent.
+	ErrUnknownTable = base.ErrUnknownTable
 )
+
+// ParsePlacement reads a placement spec — ";"- or newline-separated
+// "<table>: dc=<axis> owner=<axis>" clauses — and returns the Placement
+// it describes. Placement.String prints the canonical form of the same
+// spec, so ParsePlacement(s).String() is a fixpoint: the one string can
+// be checked into a config, passed to cmd/unbundled-tc -placement, and
+// handed to Options.Placement, and every holder resolves keys
+// identically.
+func ParsePlacement(spec string) (*Placement, error) { return placement.Parse(spec) }
+
+// MustParsePlacement is ParsePlacement for compile-time-constant specs;
+// it panics on error.
+func MustParsePlacement(spec string) *Placement { return placement.MustParse(spec) }
+
+// HashPlacement returns the uniform placement: every listed table hashed
+// across all dcs data components, ownership hashed across all tcs
+// transactional components.
+func HashPlacement(tables []string, dcs, tcs int) *Placement {
+	return placement.Hash(tables, dcs, tcs)
+}
 
 // IsTransient reports whether err is an abort worth retrying as a fresh
 // transaction (deadlock victim, lock timeout, component unavailable).
