@@ -11,6 +11,7 @@ package unbundled_test
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -154,6 +155,108 @@ func BenchmarkE1TxnMultiTCPartitioned(b *testing.B) {
 			}
 			return nil
 		})
+	})
+}
+
+// --- E9: locked vs snapshot reads under write contention ---------------
+
+// benchE9Reads measures one multi-key read-only transaction against a hot
+// set that independent writers keep X-locked (one versioned writer per
+// key, commit force 2ms), alongside a small pool of identical unmeasured
+// readers — the mixed read/write population every key's lock queue sees
+// in a real deployment. The locked mode (SnapshotLocked) pays a lock
+// wait at every key, convoying with writers and other readers; the
+// default snapshot mode waits once for the safe timestamp and reads
+// lock-free at the DCs. cmd/benchcheck gates the ratio between the two
+// (BENCH_BASELINE.json "ratios"): snapshot reads must stay >= 3x
+// locked-read throughput.
+func benchE9Reads(b *testing.B, opts core.TxnOptions) {
+	dep, err := core.New(core.Options{TCs: 1, DCs: 1, Tables: []string{"kv"},
+		TCConfig: func(int) tc.Config { return tc.Config{ForceDelay: 2 * time.Millisecond} }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dep.Close()
+	ctx := context.Background()
+	client := dep.Client()
+	const hot = 16
+	const bgReaders = 4
+	hotKey := func(k int) string { return fmt.Sprintf("hot%d", k) }
+	write := func(k, round int) error {
+		return client.RunTxn(ctx, core.TxnOptions{Versioned: true}, func(x *tc.Txn) error {
+			return x.Upsert("kv", hotKey(k), []byte(fmt.Sprintf("v%d", round)))
+		})
+	}
+	readAll := func() error {
+		return client.RunTxn(ctx, opts, func(x *tc.Txn) error {
+			for k := 0; k < hot; k++ {
+				if _, _, err := x.Read("kv", hotKey(k)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	for k := 0; k < hot; k++ {
+		if err := write(k, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var rounds atomic.Uint64
+	for w := 0; w < hot; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for r := 1; ; r++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if write(w, r) == nil {
+					rounds.Add(1)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < bgReaders; r++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = readAll()
+			}
+		}()
+	}
+	// Measure only the steady state: wait until the writers have pushed a
+	// couple of contending rounds through commit.
+	for rounds.Load() < 2*hot {
+		time.Sleep(time.Millisecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := readAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	for w := 0; w < hot+bgReaders; w++ {
+		<-done
+	}
+}
+
+func BenchmarkE9SnapshotReadContention(b *testing.B) {
+	b.Run("locked", func(b *testing.B) {
+		benchE9Reads(b, core.TxnOptions{ReadOnly: true, Snapshot: core.SnapshotLocked})
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		benchE9Reads(b, core.TxnOptions{ReadOnly: true})
 	})
 }
 

@@ -3,9 +3,12 @@
 // checked-in baseline (BENCH_BASELINE.json), and exits nonzero when any
 // benchmark regresses past the allowed ratio — or silently disappears
 // from the output, which would otherwise let a deleted benchmark "pass"
-// forever.
+// forever. The baseline's "ratios" block additionally gates relative
+// claims: each entry names a fast and a slow benchmark and the minimum
+// slow/fast ns-per-op ratio that must hold (e.g. snapshot reads >= 3x
+// locked-read throughput under contention).
 //
-//	go test -run='^$' -bench=E1 -benchtime=100x . | tee bench.txt
+//	go test -run='^$' -bench='E1|E9' -benchtime=100x . | tee bench.txt
 //	benchcheck -baseline BENCH_BASELINE.json -in bench.txt
 package main
 
@@ -20,8 +23,17 @@ import (
 )
 
 type baseline struct {
-	MaxRatio   float64            `json:"max_ratio"`
-	Benchmarks map[string]float64 `json:"benchmarks"`
+	MaxRatio   float64              `json:"max_ratio"`
+	Benchmarks map[string]float64   `json:"benchmarks"`
+	Ratios     map[string]ratioGate `json:"ratios"`
+}
+
+// ratioGate asserts Slow's ns/op stays at least MinRatio times Fast's —
+// i.e. the fast path keeps its relative advantage.
+type ratioGate struct {
+	Fast     string  `json:"fast"`
+	Slow     string  `json:"slow"`
+	MinRatio float64 `json:"min_ratio"`
 }
 
 // benchLine matches e.g. "BenchmarkE1TxnMonolith-8   100   6941 ns/op ...";
@@ -88,6 +100,24 @@ func main() {
 		}
 		fmt.Printf("%s %-40s %12.0f ns/op  baseline %12.0f  ratio %.2fx (limit %.1fx)\n",
 			verdict, name, ns, want, r, ratio)
+	}
+	for name, g := range base.Ratios {
+		fast, fok := got[g.Fast]
+		slow, sok := got[g.Slow]
+		if !fok || !sok {
+			fmt.Printf("FAIL %-40s missing %s from bench output\n", name,
+				map[bool]string{true: g.Slow, false: g.Fast}[fok])
+			failed = true
+			continue
+		}
+		r := slow / fast
+		verdict := "ok  "
+		if r < g.MinRatio {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-40s %.2fx (%s %.0f ns/op vs %s %.0f ns/op, need >= %.1fx)\n",
+			verdict, name, r, g.Fast, fast, g.Slow, slow, g.MinRatio)
 	}
 	if failed {
 		fmt.Println("benchcheck: latency regression (or missing benchmark) vs BENCH_BASELINE.json")

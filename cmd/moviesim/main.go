@@ -53,6 +53,9 @@ func main() {
 			defer wg.Done()
 			rnd := rand.New(rand.NewSource(int64(g) + 7))
 			// 1-based TC IDs: the reader TC follows the updating TCs.
+			// ReadOnly makes W1 a timestamp snapshot: the scan is served
+			// by the DCs at the read timestamp, lock-free, with no
+			// operation through the reader TC.
 			reader := core.TxnOptions{TC: updateTCs + 1, ReadOnly: true}
 			for {
 				select {
@@ -69,7 +72,7 @@ func main() {
 				case 0, 1, 2, 3, 4, 5: // W1 dominates (reads are most common, §6.3)
 					prefix := workload.MovieKey(m) + "/"
 					err = client.RunTxn(ctx, reader, func(x *tc.Txn) error {
-						_, _, e := x.ScanCommitted(workload.TableReviews, prefix, prefix+"~", 0)
+						_, _, e := x.Scan(workload.TableReviews, prefix, prefix+"~", 0)
 						return e
 					})
 					w1.Add(1)
@@ -105,7 +108,8 @@ func main() {
 
 	if *crash {
 		time.Sleep(*dur / 3)
-		fmt.Println("!! crashing TC1 (owner of even users) — odd users and the reader keep going")
+		fmt.Println("!! crashing TC1 (owner of even users) — odd users keep going;" +
+			" fresh snapshots stall until TC1's safe timestamp resumes")
 		dep.CrashTC(0)
 		time.Sleep(*dur / 6)
 		if err := dep.RecoverTC(0); err != nil {
@@ -138,9 +142,12 @@ func main() {
 	fmt.Printf("  W4 obtain reviews by user   : %7d\n", w4.Load())
 	for i, dci := range dep.DCs {
 		st := dci.Stats()
-		fmt.Printf("  DC%d: %d operations, %d idempotent skips, %d reset pages\n",
-			i, st.Performs, st.DupSkips, st.ResetPages)
+		fmt.Printf("  DC%d: %d operations, %d snapshot reads, %d idempotent skips, %d reset pages\n",
+			i, st.Performs, st.SnapshotReads, st.DupSkips, st.ResetPages)
 	}
+	rtc := dep.TCs[updateTCs]
+	fmt.Printf("  reader TC: %d snapshots, %d locks acquired, %d ops sent\n",
+		rtc.Stats().Snapshots, rtc.Locks().Stats().Acquired, rtc.Stats().OpsSent)
 }
 
 func seed(ctx context.Context, client *core.Client, p workload.MoviePlacement, updateTCs int) {

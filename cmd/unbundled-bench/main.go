@@ -15,7 +15,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced smoke configuration")
-	only := flag.String("only", "", "run a single experiment (E1..E8, F1, F2)")
+	only := flag.String("only", "", "run a single experiment (E1..E9, F1, F2)")
 	flag.Parse()
 
 	s := experiments.DefaultScale()
@@ -35,6 +35,7 @@ func main() {
 		{"E6", "partial failures: DC crash redo; TC crash targeted reset (§5.3)", experiments.E6},
 		{"E7", "multiple TCs per DC; non-blocking readers, no 2PC (§6)", experiments.E7},
 		{"E8", "DC instance scaling behind one TC (§1.1(3))", experiments.E8},
+		{"E9", "snapshot vs locked reads under write contention", experiments.E9},
 		{"F1", "Figure 1: heterogeneous TC/DC deployment", experiments.F1},
 		{"F2", "Figure 2 + §6.3: movie site workloads W1–W4", experiments.F2},
 	}

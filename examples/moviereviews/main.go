@@ -1,11 +1,12 @@
 // Movie reviews: the Figure-2 / §6.3 cloud scenario end to end.
 //
 // Two updating TCs own disjoint user partitions (UId mod 2); a third TC
-// serves movie-review reads with read-committed access over versioned
-// data. Movies and Reviews cluster by movie across DC0/DC1; Users and
+// serves movie-review reads as timestamp snapshots over versioned data.
+// Movies and Reviews cluster by movie across DC0/DC1; Users and
 // MyReviews cluster by user on DC2. Adding a review (W2) touches two DCs
 // but stays a LOCAL transaction at the owner TC — no two-phase commit —
-// and readers are never blocked by in-flight updates.
+// and readers are never blocked by in-flight updates: a snapshot read
+// takes no locks and sends nothing through its TC.
 package main
 
 import (
@@ -34,7 +35,9 @@ func main() {
 	ctx := context.Background()
 	client := dep.Client()
 	// TC pins (1-based TC IDs): the updating TCs own disjoint user
-	// partitions, the reader TC serves W1/W4-style reads.
+	// partitions, the reader TC serves W1/W4-style reads. ReadOnly makes
+	// every read a timestamp snapshot: lock-free, answered straight by
+	// the DCs at the transaction's read timestamp.
 	tc1 := unbundled.TxnOptions{TC: 1}
 	tc1v := unbundled.TxnOptions{TC: 1, Versioned: true}
 	tc2v := unbundled.TxnOptions{TC: 2, Versioned: true}
@@ -68,11 +71,12 @@ func main() {
 	must(inflight.Insert(workload.TableReviews, workload.ReviewKey(1, 3),
 		[]byte("draft: 1 star, pages too small")))
 
-	// W1 at the reader TC: committed reviews only — the draft is
-	// invisible, and the read never blocks on TC2's in-flight write.
+	// W1 at the reader TC: a snapshot scan sees committed reviews only —
+	// the draft is invisible, and the read never blocks on TC2's
+	// in-flight write (no locks, no TC round trip).
 	must(client.RunTxn(ctx, reader, func(x *unbundled.Txn) error {
 		prefix := workload.MovieKey(1) + "/"
-		keys, vals, err := x.ScanCommitted(workload.TableReviews, prefix, prefix+"~", 0)
+		keys, vals, err := x.Scan(workload.TableReviews, prefix, prefix+"~", 0)
 		if err != nil {
 			return err
 		}
@@ -96,17 +100,16 @@ func main() {
 		return nil
 	}))
 
-	// TC2 commits; the review becomes visible to committed readers.
+	// TC2 commits; a fresh snapshot taken afterwards sees the review —
+	// Client.Snapshot is the multi-read convenience view.
 	must(inflight.Commit())
-	must(client.RunTxn(ctx, reader, func(x *unbundled.Txn) error {
-		prefix := workload.MovieKey(1) + "/"
-		keys, _, err := x.ScanCommitted(workload.TableReviews, prefix, prefix+"~", 0)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("after TC2 commit: %d committed reviews\n", len(keys))
-		return nil
-	}))
+	snap, err := client.Snapshot(ctx)
+	must(err)
+	prefix := workload.MovieKey(1) + "/"
+	keys, _, err := snap.Scan(workload.TableReviews, prefix, prefix+"~", 0)
+	must(err)
+	fmt.Printf("after TC2 commit: %d committed reviews (snapshot @%d)\n", len(keys), snap.TS())
+	must(snap.Close())
 
 	// W4 at TC1: user 2's own reviews from the clustered MyReviews copy.
 	must(client.RunTxn(ctx, tc1, func(x *unbundled.Txn) error {
@@ -124,7 +127,7 @@ func main() {
 	must(dep.RecoverTC(0))
 	must(client.RunTxn(ctx, reader, func(x *unbundled.Txn) error {
 		prefix := workload.MovieKey(1) + "/"
-		keys, _, err := x.ScanCommitted(workload.TableReviews, prefix, prefix+"~", 0)
+		keys, _, err := x.Scan(workload.TableReviews, prefix, prefix+"~", 0)
 		if err != nil {
 			return err
 		}

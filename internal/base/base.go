@@ -36,6 +36,13 @@ type TCID uint16
 // a DC that has never seen a restart for the TC).
 type Epoch uint64
 
+// TS is a commit or snapshot timestamp: nanoseconds on the Unix epoch,
+// drawn from a clock-with-error-bound (internal/clock). A TC stamps every
+// versioned commit with a TS strictly larger than any it assigned before;
+// a snapshot read at T sees exactly the versions committed with TS <= T.
+// Zero means "no timestamp": unversioned data, visible to every snapshot.
+type TS uint64
+
 // PageID identifies a page within one DC's stable store. Zero is invalid.
 type PageID uint32
 
@@ -122,6 +129,12 @@ const (
 	// ReadCommitted reads the before version when an uncommitted later
 	// version exists; requires versioned data (§6.2.2). Never blocks.
 	ReadCommitted
+	// ReadSnapshot reads the newest version committed at or before the
+	// operation's TS: the multi-version read of a snapshot transaction.
+	// Requires versioned data; never blocks on locks (the DC waits until
+	// its safe timestamp covers TS instead). Uncommitted versions are
+	// never visible regardless of which TC wrote them.
+	ReadSnapshot
 )
 
 func (f ReadFlavor) String() string {
@@ -132,6 +145,8 @@ func (f ReadFlavor) String() string {
 		return "dirty"
 	case ReadCommitted:
 		return "read-committed"
+	case ReadSnapshot:
+		return "snapshot"
 	}
 	return fmt.Sprintf("ReadFlavor(%d)", uint8(f))
 }

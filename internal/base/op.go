@@ -30,6 +30,11 @@ type Op struct {
 	// Versioned selects versioned writes (§6.2.2): the DC keeps the before
 	// version so other TCs can perform read-committed reads.
 	Versioned bool
+	// TS is the operation's timestamp: the snapshot timestamp of a
+	// ReadSnapshot read (or range read), or the commit timestamp stamped on
+	// OpCommitVersions when the transaction's versions are finalized. Zero
+	// means "no timestamp" (every pre-snapshot operation).
+	TS TS
 }
 
 func (o *Op) String() string {
@@ -59,7 +64,7 @@ func isNonBlockingRead(o *Op) bool {
 	if o.Kind.IsWrite() {
 		return false
 	}
-	return o.Flavor == ReadDirty || o.Flavor == ReadCommitted
+	return o.Flavor == ReadDirty || o.Flavor == ReadCommitted || o.Flavor == ReadSnapshot
 }
 
 func footprintOverlap(o, p *Op) bool {
@@ -176,6 +181,16 @@ type Service interface {
 	// resumes normal processing. Fails with ErrStaleEpoch when epoch is
 	// older than the installed fence (a dead incarnation's late call).
 	EndRestart(ctx context.Context, tc TCID, epoch Epoch) error
+	// SafeTS broadcasts the TC's safe timestamp and version-GC horizon,
+	// fire-and-forget like the watermarks. safe promises that every
+	// versioned commit this TC assigned a timestamp <= safe has been
+	// finalized at the DCs and that no future commit of this TC will be
+	// assigned a timestamp <= safe; a snapshot read at T is served once
+	// every registered TC's safe covers T. horizon promises no live (or
+	// future) snapshot of this TC will read below it, releasing versions
+	// and tombstones older than the horizon for garbage collection.
+	// Epoch-fenced like EndOfStableLog.
+	SafeTS(tc TCID, epoch Epoch, safe TS, horizon TS)
 }
 
 // op/result wire encodings -------------------------------------------------
@@ -186,6 +201,11 @@ type Service interface {
 // decodable and makes epoch-zero frames byte-identical to them.
 const opEpochFlag = 0x80
 
+// opTSFlag marks, on the kind byte, that a timestamp varint follows the
+// epoch (when present). Like the epoch flag, a zero-TS operation never
+// sets it, so pre-snapshot encodings stay byte-identical and decodable.
+const opTSFlag = 0x40
+
 // AppendOp serializes op to buf using a compact length-prefixed binary
 // format (stdlib encoding/binary varints).
 func AppendOp(buf []byte, o *Op) []byte {
@@ -195,9 +215,15 @@ func AppendOp(buf []byte, o *Op) []byte {
 	if o.Epoch != 0 {
 		kind |= opEpochFlag
 	}
+	if o.TS != 0 {
+		kind |= opTSFlag
+	}
 	buf = append(buf, kind, byte(o.Flavor), boolByte(o.Versioned))
 	if o.Epoch != 0 {
 		buf = binary.AppendUvarint(buf, uint64(o.Epoch))
+	}
+	if o.TS != 0 {
+		buf = binary.AppendUvarint(buf, uint64(o.TS))
 	}
 	buf = appendString(buf, o.Table)
 	buf = appendString(buf, o.Key)
@@ -226,13 +252,19 @@ func DecodeOp(buf []byte) (*Op, []byte, error) {
 		return nil, nil, errShort
 	}
 	kind := buf[0]
-	o.Kind, o.Flavor, o.Versioned = OpKind(kind&^opEpochFlag), ReadFlavor(buf[1]), buf[2] != 0
+	o.Kind, o.Flavor, o.Versioned = OpKind(kind&^(opEpochFlag|opTSFlag)), ReadFlavor(buf[1]), buf[2] != 0
 	buf = buf[3:]
 	if kind&opEpochFlag != 0 {
 		if u, buf, err = readUvarint(buf); err != nil {
 			return nil, nil, err
 		}
 		o.Epoch = Epoch(u)
+	}
+	if kind&opTSFlag != 0 {
+		if u, buf, err = readUvarint(buf); err != nil {
+			return nil, nil, err
+		}
+		o.TS = TS(u)
 	}
 	if o.Table, buf, err = readString(buf); err != nil {
 		return nil, nil, err

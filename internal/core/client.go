@@ -12,15 +12,39 @@ import (
 	"github.com/cidr09/unbundled/internal/tc"
 )
 
+// SnapshotPolicy selects how a read-only transaction obtains its
+// consistent view; see the tc package constants for the semantics.
+type SnapshotPolicy = tc.SnapshotPolicy
+
+const (
+	// SnapshotFresh reads at a fresh timestamp after waiting out the
+	// clock's uncertainty window: externally consistent (the default).
+	SnapshotFresh SnapshotPolicy = tc.SnapshotFresh
+	// SnapshotBounded reads up to TxnOptions.Staleness behind now, never
+	// waiting on the clock.
+	SnapshotBounded SnapshotPolicy = tc.SnapshotBounded
+	// SnapshotLocked is the legacy lock-based read-only posture.
+	SnapshotLocked SnapshotPolicy = tc.SnapshotLocked
+)
+
 // TxnOptions shapes one client transaction. The zero value is a plain
 // read-write transaction, auto-routed across the deployment's TCs, with
 // the default retry policy.
 type TxnOptions struct {
 	// Versioned makes writes keep before versions (§6.2.2), enabling
-	// cross-TC read-committed readers and cheap undo.
+	// cross-TC read-committed readers, snapshot visibility, and cheap
+	// undo.
 	Versioned bool
-	// ReadOnly refuses every mutation with ErrReadOnly.
+	// ReadOnly refuses every mutation with ErrReadOnly and (unless
+	// Snapshot is SnapshotLocked) serves every Read/Scan from a snapshot:
+	// a consistent view at one timestamp, read at the DC without locks
+	// and without TC round trips.
 	ReadOnly bool
+	// Snapshot selects the read-only view policy; ignored unless ReadOnly.
+	Snapshot SnapshotPolicy
+	// Staleness is how far behind now a SnapshotBounded view may read;
+	// ignored otherwise.
+	Staleness time.Duration
 	// LockTimeout overrides the TC's configured lock-wait bound for this
 	// transaction: positive bounds each wait, negative waits forever, zero
 	// keeps the TC default.
@@ -60,8 +84,19 @@ type TxnOptions struct {
 	RetryBackoff time.Duration
 }
 
+// tcOpts is the single conversion point from deployment-level options to
+// TC-level options: every tc.TxnOptions field is threaded through a
+// same-named field here (options_test.go enforces this by reflection, so
+// a field added to one struct but not the other fails the build's tests,
+// not a user's transaction).
 func (o TxnOptions) tcOpts() tc.TxnOptions {
-	return tc.TxnOptions{Versioned: o.Versioned, ReadOnly: o.ReadOnly, LockTimeout: o.LockTimeout}
+	return tc.TxnOptions{
+		Versioned:   o.Versioned,
+		ReadOnly:    o.ReadOnly,
+		Snapshot:    o.Snapshot,
+		Staleness:   o.Staleness,
+		LockTimeout: o.LockTimeout,
+	}
 }
 
 // Client is the deployment-level transaction API: it routes transactions
@@ -240,6 +275,50 @@ func (c *Client) RunTxn(ctx context.Context, opts TxnOptions, fn func(*tc.Txn) e
 		}
 	}
 	return err
+}
+
+// Snapshot is an explicit multi-read consistent view: a read-only
+// snapshot transaction whose Reads and Scans all observe the database at
+// one timestamp, without locks and without TC round trips. Close releases
+// it (until then it pins the version-GC horizon at its timestamp). Like a
+// transaction, a Snapshot is used from a single goroutine.
+type Snapshot struct {
+	txn *tc.Txn
+}
+
+// Snapshot opens a fresh consistent view at the current time: Begin waits
+// out the clock's uncertainty window, so every transaction whose commit
+// completed before the call is visible in the view. For bounded-staleness
+// or lock-based read-only policies, use Begin with TxnOptions.ReadOnly
+// and the Snapshot/Staleness knobs instead.
+func (c *Client) Snapshot(ctx context.Context) (*Snapshot, error) {
+	x, err := c.Begin(ctx, TxnOptions{ReadOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{txn: x}, nil
+}
+
+// TS returns the view's timestamp.
+func (s *Snapshot) TS() base.TS { return s.txn.SnapshotTS() }
+
+// Read returns the value of key as of the view's timestamp.
+func (s *Snapshot) Read(table, key string) ([]byte, bool, error) {
+	return s.txn.Read(table, key)
+}
+
+// Scan range-reads [lo, hi) as of the view's timestamp. hi == "" scans to
+// the end of the table's partition; limit <= 0 means unlimited.
+func (s *Snapshot) Scan(table, lo, hi string, limit int) ([]string, [][]byte, error) {
+	return s.txn.Scan(table, lo, hi, limit)
+}
+
+// Close releases the view. Idempotent.
+func (s *Snapshot) Close() error {
+	if err := s.txn.Commit(); err != nil && !errors.Is(err, tc.ErrTxnDone) {
+		return err
+	}
+	return nil
 }
 
 // RunTxnAt runs fn like RunTxn with (table, key) hinted as write intent:

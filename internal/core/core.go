@@ -32,23 +32,14 @@ type Options struct {
 	// DC) and §6.1 update ownership (table/key to owning TC), parsed from
 	// or printable as a spec string (placement.Parse/String), so the
 	// identical text can drive this in-process deployment and a fleet of
-	// cmd/unbundled-tc processes. It supersedes Route; New validates it
-	// against the deployment shape. Nil falls back to Route.
+	// cmd/unbundled-tc processes. New validates it against the deployment
+	// shape. Nil places every table on DC 0 with no ownership partition.
 	Placement *placement.Placement
 	// FleetTCs is the total number of TCs across every process sharing
 	// this placement (IDs 1..FleetTCs): the ownership axes may name TCs
 	// that live in other OS processes. Zero means the fleet is exactly
 	// this deployment's TCs.
 	FleetTCs int
-	// Route maps (table, key) to a DC index. Nil (with a nil Placement)
-	// routes everything to DC 0.
-	//
-	// Deprecated: declare a Placement instead. The closure cannot be
-	// serialized, carries no §6.1 ownership axis (nothing is enforced),
-	// and falls through silently on unknown tables. It remains as a shim
-	// for programmatic routes no spec can express; ignored when Placement
-	// is set.
-	Route func(table, key string) int
 	// TCConfig customizes each TC (a zero ID field is defaulted to i+1;
 	// explicit IDs let one process run TC 3 of a larger fleet).
 	TCConfig func(i int) tc.Config
@@ -82,7 +73,7 @@ type Deployment struct {
 	clients [][]*wire.Client
 	servers [][]*wire.Server
 	router  placement.Router
-	pl      *placement.Placement // nil when running on the deprecated Route shim
+	pl      *placement.Placement // nil when built without an explicit placement
 
 	clientOnce sync.Once
 	client     *Client
@@ -93,10 +84,10 @@ type Deployment struct {
 // resolveRouter validates Options.Placement against the deployment shape
 // (dcCount data components, a fleet of max(FleetTCs, TCs) transactional
 // components) and returns the router every TC shares; without a
-// Placement, the deprecated Route shim applies.
+// Placement, a catch-all spec places every table on DC 0 unowned.
 func resolveRouter(opts *Options, dcCount int) (placement.Router, error) {
 	if opts.Placement == nil {
-		return placement.RouteFunc(opts.Route), nil
+		return placement.MustParse("*: dc=0"), nil
 	}
 	fleet := opts.FleetTCs
 	if fleet < opts.TCs {
@@ -200,13 +191,13 @@ func (d *Deployment) Route(table, key string) (int, error) { return d.router.DC(
 
 // Owner returns the ID of the TC owning update rights for (table, key)
 // per the deployment's §6.1 ownership axes; zero means unowned (any TC
-// may update — the posture of ownerless placements and the Route shim).
+// may update — the posture of ownerless placements).
 func (d *Deployment) Owner(table, key string) (base.TCID, error) {
 	return d.router.Owner(table, key)
 }
 
 // Placement returns the deployment's placement, or nil when it was built
-// on the deprecated Options.Route shim.
+// without an explicit Options.Placement.
 func (d *Deployment) Placement() *placement.Placement { return d.pl }
 
 // Close stops the whole deployment: TC background work first (so commit

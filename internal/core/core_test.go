@@ -8,19 +8,15 @@ import (
 	"time"
 
 	"github.com/cidr09/unbundled/internal/dc"
+	"github.com/cidr09/unbundled/internal/placement"
 	"github.com/cidr09/unbundled/internal/tc"
 	"github.com/cidr09/unbundled/internal/wire"
 )
 
 func TestEndToEndDirect(t *testing.T) {
 	d, err := New(Options{TCs: 1, DCs: 2, Tables: []string{"kv"},
-		Route: func(_, key string) int {
-			if key >= "m" {
-				return 1
-			}
-			return 0
-		},
-		DCConfig: func(int) dc.Config { return dc.Config{CheckConflicts: true} },
+		Placement: placement.MustParse("kv: dc=range(<m:0,*:1)"),
+		DCConfig:  func(int) dc.Config { return dc.Config{CheckConflicts: true} },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -60,12 +56,7 @@ func TestEndToEndDirect(t *testing.T) {
 
 func TestEndToEndLossyNetwork(t *testing.T) {
 	d, err := New(Options{TCs: 1, DCs: 2, Tables: []string{"kv"},
-		Route: func(_, key string) int {
-			if key >= "m" {
-				return 1
-			}
-			return 0
-		},
+		Placement: placement.MustParse("kv: dc=range(<m:0,*:1)"),
 		Network: &wire.Config{LossProb: 0.1, DupProb: 0.05,
 			Jitter: 200 * time.Microsecond, ResendAfter: 2 * time.Millisecond, Seed: 7},
 		DCConfig: func(int) dc.Config { return dc.Config{CheckConflicts: true} },
@@ -126,12 +117,7 @@ func TestEndToEndLossyNetwork(t *testing.T) {
 // transactions only.
 func TestCrashRecoveryFuzz(t *testing.T) {
 	d, err := New(Options{TCs: 1, DCs: 2, Tables: []string{"kv"},
-		Route: func(_, key string) int {
-			if key >= "m" {
-				return 1
-			}
-			return 0
-		},
+		Placement: placement.MustParse("kv: dc=range(<m:0,*:1)"),
 		DCConfig: func(int) dc.Config {
 			return dc.Config{PageBytes: 512, CheckConflicts: true}
 		},
@@ -319,9 +305,8 @@ func TestMultiTCSharedDC(t *testing.T) {
 // record stores, an inverted-index-style DC, and a geohash-style DC.
 func TestFigure1Heterogeneous(t *testing.T) {
 	tables := []string{"photos", "accounts", "textidx", "shapes"}
-	routeTable := map[string]int{"photos": 0, "accounts": 1, "textidx": 2, "shapes": 3}
 	d, err := New(Options{TCs: 2, DCs: 4, Tables: tables,
-		Route: func(table, _ string) int { return routeTable[table] },
+		Placement: placement.MustParse("photos: dc=0; accounts: dc=1; textidx: dc=2; shapes: dc=3"),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/cidr09/unbundled/internal/placement"
 	"github.com/cidr09/unbundled/internal/tc"
 	"github.com/cidr09/unbundled/internal/wire"
 )
@@ -44,7 +45,7 @@ func TestEpochFenceCrashDuringBatchChaos(t *testing.T) {
 			rnd := rand.New(rand.NewSource(int64(it)*977 + 5))
 			dep, err := New(Options{
 				TCs: 1, DCs: 2, Tables: []string{"kv"},
-				Route: func(_, key string) int { return int(key[len(key)-1]) % 2 },
+				Placement: placement.MustParse("kv: dc=mod(2)"),
 				TCConfig: func(int) tc.Config {
 					return tc.Config{Pipeline: true, LockTimeout: 5 * time.Second}
 				},

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/cidr09/unbundled/internal/tc"
+)
+
+// TestTxnOptionsThreading pins the single-conversion-point contract of
+// tcOpts: a field added to tc.TxnOptions without a same-named,
+// same-typed core.TxnOptions field fails here, as does a new core field
+// that is neither threaded through tcOpts nor declared deployment-only.
+func TestTxnOptionsThreading(t *testing.T) {
+	// Deployment-level concerns with no TC-side counterpart: routing,
+	// and the client retry policy.
+	coreOnly := map[string]bool{
+		"TC": true, "WriteSet": true, "MaxAttempts": true, "RetryBackoff": true,
+	}
+
+	coreT := reflect.TypeOf(TxnOptions{})
+	tcT := reflect.TypeOf(tc.TxnOptions{})
+
+	for i := 0; i < tcT.NumField(); i++ {
+		f := tcT.Field(i)
+		cf, ok := coreT.FieldByName(f.Name)
+		if !ok {
+			t.Errorf("tc.TxnOptions.%s has no core.TxnOptions counterpart", f.Name)
+			continue
+		}
+		if cf.Type != f.Type {
+			t.Errorf("TxnOptions.%s type mismatch: core %v vs tc %v", f.Name, cf.Type, f.Type)
+		}
+	}
+	for i := 0; i < coreT.NumField(); i++ {
+		f := coreT.Field(i)
+		if _, shared := tcT.FieldByName(f.Name); !shared && !coreOnly[f.Name] {
+			t.Errorf("core.TxnOptions.%s: not mirrored in tc.TxnOptions and not in the deployment-only allowlist", f.Name)
+		}
+	}
+
+	// tcOpts must copy the values, not just compile: fill every core field
+	// with a distinctive nonzero value and check each shared field lands.
+	var o TxnOptions
+	ov := reflect.ValueOf(&o).Elem()
+	for i := 0; i < coreT.NumField(); i++ {
+		setNonZero(t, ov.Field(i), i)
+	}
+	got := reflect.ValueOf(o.tcOpts())
+	for i := 0; i < tcT.NumField(); i++ {
+		name := tcT.Field(i).Name
+		want := ov.FieldByName(name)
+		if !want.IsValid() {
+			continue // missing counterpart, reported above
+		}
+		if !reflect.DeepEqual(got.Field(i).Interface(), want.Interface()) {
+			t.Errorf("tcOpts drops %s: got %v, want %v", name, got.Field(i), want)
+		}
+	}
+}
+
+func setNonZero(t *testing.T, v reflect.Value, seed int) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(int64(seed) + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(uint64(seed) + 1)
+	case reflect.String:
+		v.SetString("x")
+	case reflect.Map:
+		v.Set(reflect.MakeMap(v.Type()))
+	default:
+		t.Fatalf("setNonZero: unhandled kind %v — extend the helper", v.Kind())
+	}
+}

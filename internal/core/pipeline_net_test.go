@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/cidr09/unbundled/internal/lockmgr"
+	"github.com/cidr09/unbundled/internal/placement"
 	"github.com/cidr09/unbundled/internal/tc"
 	"github.com/cidr09/unbundled/internal/wire"
 )
@@ -33,7 +34,7 @@ func TestConcurrentTxnsOnMisbehavingNetwork(t *testing.T) {
 			)
 			dep, err := New(Options{
 				TCs: 1, DCs: 2, Tables: []string{"kv"},
-				Route: func(_, key string) int { return int(key[len(key)-1]) % 2 },
+				Placement: placement.MustParse("kv: dc=mod(2)"),
 				TCConfig: func(int) tc.Config {
 					return tc.Config{Pipeline: pipelined, LockTimeout: 5 * time.Second}
 				},

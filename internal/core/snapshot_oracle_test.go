@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"github.com/cidr09/unbundled/internal/dc"
+	"github.com/cidr09/unbundled/internal/placement"
+	"github.com/cidr09/unbundled/internal/tc"
+)
+
+// TestSnapshotOracle runs concurrent versioned writers against concurrent
+// snapshot readers (designed to be meaningful under -race) and asserts
+// the two halves of the snapshot contract:
+//
+//   - Consistency: every multi-key snapshot observes one committed prefix
+//     — all keys show the same round, and rounds never move backwards
+//     within one reader.
+//   - Zero coordination: the reader TC acquires no locks and sends no
+//     operations; its whole contribution is the read timestamp.
+func TestSnapshotOracle(t *testing.T) {
+	d, err := New(Options{TCs: 2, DCs: 1,
+		Placement: placement.MustParse("kv: dc=0 owner=1"),
+		DCConfig:  func(int) dc.Config { return dc.Config{CheckConflicts: true} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cl := d.Client()
+	ctx := context.Background()
+	const nkeys = 4
+
+	writeRound := func(round int) error {
+		val := []byte(strconv.Itoa(round))
+		return cl.RunTxn(ctx, TxnOptions{Versioned: true, TC: 1}, func(x *tc.Txn) error {
+			for k := 0; k < nkeys; k++ {
+				if err := x.Upsert("kv", fmt.Sprintf("k%d", k), val); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if err := writeRound(0); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for round := 1; ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := writeRound(round); err != nil {
+				t.Errorf("writer round %d: %v", round, err)
+				return
+			}
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			last := -1
+			for i := 0; i < 50; i++ {
+				x, err := cl.Begin(ctx, TxnOptions{ReadOnly: true, TC: 2})
+				if err != nil {
+					t.Errorf("reader %d: begin: %v", r, err)
+					return
+				}
+				round := -1
+				for k := 0; k < nkeys; k++ {
+					v, ok, err := x.Read("kv", fmt.Sprintf("k%d", k))
+					if err != nil || !ok {
+						t.Errorf("reader %d: k%d: %q %v %v", r, k, v, ok, err)
+						_ = x.Commit()
+						return
+					}
+					n, _ := strconv.Atoi(string(v))
+					if k == 0 {
+						round = n
+					} else if n != round {
+						t.Errorf("reader %d: torn snapshot @%d: k0 at round %d, k%d at %d",
+							r, x.SnapshotTS(), round, k, n)
+					}
+				}
+				if round < last {
+					t.Errorf("reader %d: snapshot went backwards: round %d after %d", r, round, last)
+				}
+				last = round
+				_ = x.Commit()
+			}
+		}(r)
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+
+	tc2 := d.TCs[1]
+	if got := tc2.Locks().Stats().Acquired; got != 0 {
+		t.Errorf("reader TC acquired %d locks, want 0", got)
+	}
+	if got := tc2.Stats().OpsSent; got != 0 {
+		t.Errorf("reader TC sent %d operations, want 0", got)
+	}
+	if got := tc2.Stats().Snapshots; got != 200 {
+		t.Errorf("reader TC snapshot count: %d, want 200", got)
+	}
+	if got := d.DCs[0].Stats().SnapshotReads; got == 0 {
+		t.Error("DC served no snapshot reads")
+	}
+}

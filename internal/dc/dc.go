@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/cidr09/unbundled/internal/base"
 	"github.com/cidr09/unbundled/internal/btree"
@@ -67,6 +68,8 @@ type Stats struct {
 	ResetPages    uint64 // pages reset by partial-failure restarts
 	RestoredRecs  uint64 // records restored from disk versions during reset
 	ConflictViols uint64 // debug conflict-checker violations (must be 0)
+	SnapshotReads uint64 // snapshot-flavor reads served
+	SnapshotWaits uint64 // snapshot reads that had to wait out a safe TS
 }
 
 type dcState int
@@ -100,6 +103,29 @@ type tcState struct {
 	// epoch is fencing already, but normal processing (checkpoints) has not
 	// been re-admitted yet.
 	restarting atomic.Bool
+
+	// safe is the TC's closed timestamp: the TC promises that every commit
+	// with TS <= safe has been finalized at this DC and that it will never
+	// assign a commit TS at or below it again. A snapshot read at T waits
+	// until every registered TC's safe covers T.
+	safe atomic.Uint64
+	// horizon is the TC's GC watermark: no live or future snapshot of that
+	// TC reads below it, so versions under the minimum horizon may be
+	// reclaimed.
+	horizon atomic.Uint64
+	// safeCh, when non-nil, is closed under ctl the next time safe
+	// advances; snapshot waiters subscribe through safeChanged.
+	safeCh chan struct{}
+}
+
+// safeChanged returns a channel closed on the next advance of safe.
+func (s *tcState) safeChanged() <-chan struct{} {
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
+	if s.safeCh == nil {
+		s.safeCh = make(chan struct{})
+	}
+	return s.safeCh
 }
 
 // fenced reports whether an incoming epoch is older than the installed
@@ -127,9 +153,14 @@ type DC struct {
 
 	inflight *conflictTable
 
+	// gcHorizon caches the minimum nonzero per-TC GC horizon so the write
+	// path can prune versions without scanning the TC map.
+	gcHorizon atomic.Uint64
+
 	performs, dupSkips, unavailable   atomic.Uint64
 	staleEpochs                       atomic.Uint64
 	resetPages, restoredRecs, conVios atomic.Uint64
+	snapReads, snapWaits              atomic.Uint64
 }
 
 // New formats a DC over fresh stable media — or, with Config.Dir naming a
@@ -358,6 +389,100 @@ func (d *DC) EndOfStableLog(tc base.TCID, epoch base.Epoch, eosl base.LSN) {
 	}
 }
 
+// SafeTS implements base.Service: the TC's closed-timestamp broadcast.
+// After this call, every commit of that TC with TS <= safe is finalized at
+// the DC (the finalize operations arrived through the same ordered
+// resend/idempotence machinery as any write), and the TC will never assign
+// a commit TS at or below safe — so a snapshot at T <= safe reads a stable
+// prefix. horizon is the TC's GC watermark. Broadcasts from a fenced
+// incarnation are dropped, mirroring EndOfStableLog.
+func (d *DC) SafeTS(tc base.TCID, epoch base.Epoch, safe base.TS, horizon base.TS) {
+	s := d.tcState(tc)
+	s.ctl.Lock()
+	if s.fenced(epoch) {
+		s.ctl.Unlock()
+		return
+	}
+	if uint64(safe) > s.safe.Load() {
+		s.safe.Store(uint64(safe))
+		if s.safeCh != nil {
+			close(s.safeCh)
+			s.safeCh = nil
+		}
+	}
+	if uint64(horizon) > s.horizon.Load() {
+		s.horizon.Store(uint64(horizon))
+	}
+	s.ctl.Unlock()
+	d.refreshHorizon()
+}
+
+// refreshHorizon recomputes the cached GC horizon: the minimum nonzero
+// per-TC horizon. A TC that has never broadcast one contributes no
+// constraint (it also hands out no snapshots), and zero means "never
+// reclaim" overall.
+func (d *DC) refreshHorizon() {
+	d.mu.Lock()
+	var min uint64
+	for _, s := range d.tcs {
+		if h := s.horizon.Load(); h != 0 && (min == 0 || h < min) {
+			min = h
+		}
+	}
+	d.mu.Unlock()
+	for {
+		cur := d.gcHorizon.Load()
+		if min <= cur || d.gcHorizon.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
+// snapshotSafeWait bounds one snapshot read's wait for the safe timestamp
+// to cover its TS; on expiry the read nacks CodeUnavailable and the
+// client's resend re-enters the wait.
+const snapshotSafeWait = time.Second
+
+// waitSnapshotSafe blocks until every registered TC's safe timestamp is at
+// or above t. This is the lock-free read path's only synchronization: it
+// never touches a lock manager, it just waits out commit finalization.
+func (d *DC) waitSnapshotSafe(ctx context.Context, t base.TS) base.Code {
+	var deadline *time.Timer
+	for {
+		var lag *tcState
+		d.mu.Lock()
+		for _, s := range d.tcs {
+			if s.safe.Load() < uint64(t) {
+				lag = s
+				break
+			}
+		}
+		d.mu.Unlock()
+		if lag == nil {
+			if deadline != nil {
+				deadline.Stop()
+			}
+			return base.CodeOK
+		}
+		if deadline == nil {
+			d.snapWaits.Add(1)
+			deadline = time.NewTimer(snapshotSafeWait)
+			defer deadline.Stop()
+		}
+		ch := lag.safeChanged()
+		if lag.safe.Load() >= uint64(t) {
+			continue // advanced between the scan and the subscribe
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return base.CodeCancelled
+		case <-deadline.C:
+			return base.CodeUnavailable
+		}
+	}
+}
+
 // LowWaterMark implements base.Service (§4.2.1): the TC has received
 // replies for every operation with LSN <= lwm, so LSNlw on cached pages
 // may advance (bounded by EOSL; see buffer and ablsn for why). Claims from
@@ -529,6 +654,8 @@ func (d *DC) Stats() Stats {
 		ResetPages:    d.resetPages.Load(),
 		RestoredRecs:  d.restoredRecs.Load(),
 		ConflictViols: d.conVios.Load(),
+		SnapshotReads: d.snapReads.Load(),
+		SnapshotWaits: d.snapWaits.Load(),
 	}
 }
 

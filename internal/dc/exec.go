@@ -43,6 +43,19 @@ func (d *DC) Perform(ctx context.Context, op *base.Op) *base.Result {
 	if tree == nil {
 		return &base.Result{LSN: op.LSN, Code: base.CodeBadRequest}
 	}
+	if op.Flavor == base.ReadSnapshot && op.TS != 0 &&
+		(op.Kind == base.OpRead || op.Kind == base.OpRangeRead) {
+		// Snapshot read at T: wait until every TC's safe timestamp covers T
+		// — all commits <= T are finalized here and no new commit can land
+		// under T — then read timestamp-consistent versions lock-free.
+		if code := d.waitSnapshotSafe(ctx, op.TS); code != base.CodeOK {
+			if code == base.CodeUnavailable {
+				d.unavailable.Add(1)
+			}
+			return &base.Result{LSN: op.LSN, Code: code}
+		}
+		d.snapReads.Add(1)
+	}
 	switch op.Kind {
 	case base.OpRead:
 		return d.read(tree, op)
@@ -83,7 +96,7 @@ func (d *DC) read(tree *btree.Tree, op *base.Op) *base.Result {
 	res := &base.Result{LSN: op.LSN, Code: base.CodeOK}
 	err := tree.View(op.Key, func(leaf *page.Page) {
 		if rec := leaf.Get(op.Key); rec != nil {
-			if v, ok := rec.ReadVersion(op.Flavor); ok {
+			if v, ok := recVersion(rec, op); ok {
 				res.Found = true
 				res.Value = append([]byte(nil), v...)
 			}
@@ -129,7 +142,7 @@ func (d *DC) rangeRead(tree *btree.Tree, op *base.Op) *base.Result {
 	}
 	err := tree.Scan(op.Key, func(leaf *page.Page) bool {
 		stopped := leaf.Ascend(op.Key, op.EndKey, func(r *page.Record) bool {
-			if v, ok := r.ReadVersion(op.Flavor); ok {
+			if v, ok := recVersion(r, op); ok {
 				res.Keys = append(res.Keys, r.Key)
 				res.Values = append(res.Values, append([]byte(nil), v...))
 			}
@@ -141,6 +154,15 @@ func (d *DC) rangeRead(tree *btree.Tree, op *base.Op) *base.Result {
 		return &base.Result{LSN: op.LSN, Code: base.CodeBadRequest}
 	}
 	return res
+}
+
+// recVersion resolves the version of rec visible to op: timestamped
+// resolution for snapshot reads, flavor resolution otherwise.
+func recVersion(rec *page.Record, op *base.Op) ([]byte, bool) {
+	if op.Flavor == base.ReadSnapshot && op.TS != 0 {
+		return rec.VersionAt(op.TS)
+	}
+	return rec.ReadVersion(op.Flavor)
 }
 
 // write executes a mutating operation with the abstract-LSN idempotence
@@ -169,7 +191,7 @@ func (d *DC) write(pool *buffer.Pool, tree *btree.Tree, ts *tcState, op *base.Op
 			if pool.BarrierBlocked(leaf, op.TC, op.LSN) {
 				return true // §5.1.2 strategy 1: wait out the page sync
 			}
-			res = applyWrite(leaf, op)
+			res = applyWrite(leaf, op, base.TS(d.gcHorizon.Load()))
 			if res.Code == base.CodeOK {
 				leaf.Ab.Ensure(op.TC).Add(op.LSN)
 				pool.MarkDirty(leaf, op.TC, op.LSN, 0)
@@ -191,7 +213,12 @@ func (d *DC) write(pool *buffer.Pool, tree *btree.Tree, ts *tcState, op *base.Op
 // (duplicate insert, update/delete of a missing key) change nothing and
 // are deliberately not recorded in the abstract LSN: re-execution is
 // deterministic because redo repeats history in operation order.
-func applyWrite(leaf *page.Page, op *base.Op) *base.Result {
+//
+// Versioned writes zero the record's commit TS (the in-flight version is
+// uncommitted) and park the previous version's TS in BeforeTS; the commit
+// finalize re-stamps it. Unversioned writes clear the timestamp group —
+// they do not maintain snapshot history.
+func applyWrite(leaf *page.Page, op *base.Op, horizon base.TS) *base.Result {
 	res := &base.Result{LSN: op.LSN, Code: base.CodeOK}
 	rec := leaf.Get(op.Key)
 	switch op.Kind {
@@ -215,6 +242,13 @@ func applyWrite(leaf *page.Page, op *base.Op) *base.Result {
 			// insert two versions, a before null version followed by the
 			// intended insert."
 			nr.Flags = page.FlagHasBefore | page.FlagBeforeNull
+			if rec != nil && !rec.HasBefore() {
+				// Re-insert over a committed, timestamped tombstone: carry
+				// the deletion's TS and the retained history, so snapshots
+				// below the re-insert keep resolving.
+				nr.BeforeTS = rec.TS
+				nr.Hist = rec.Hist
+			}
 		}
 		leaf.Put(nr)
 	case base.OpUpdate:
@@ -228,9 +262,15 @@ func applyWrite(leaf *page.Page, op *base.Op) *base.Result {
 		}
 		res.Prior = cloneBytes(rec.Value)
 		res.PriorKnown, res.PriorFound = true, true
-		if op.Versioned && !rec.HasBefore() {
-			rec.Before = rec.Value
-			rec.Flags |= page.FlagHasBefore
+		if op.Versioned {
+			if !rec.HasBefore() {
+				rec.Before = rec.Value
+				rec.BeforeTS = rec.TS
+				rec.Flags |= page.FlagHasBefore
+			}
+			rec.TS = 0
+		} else {
+			rec.TS, rec.BeforeTS, rec.Hist = 0, 0, nil
 		}
 		rec.Value = cloneBytes(op.Value)
 		rec.Flags &^= page.FlagTombstone
@@ -248,9 +288,21 @@ func applyWrite(leaf *page.Page, op *base.Op) *base.Result {
 		res.Prior = cloneBytes(rec.Value)
 		res.PriorKnown = true
 		_, res.PriorFound = rec.ReadVersion(base.ReadDirty)
-		if op.Versioned && !rec.HasBefore() {
-			rec.Before = rec.Value
-			rec.Flags |= page.FlagHasBefore
+		if op.Versioned {
+			if !rec.HasBefore() {
+				rec.Before = rec.Value
+				rec.BeforeTS = rec.TS
+				rec.Flags |= page.FlagHasBefore
+				if rec.Tombstone() {
+					// Upsert over a committed tombstone is an insert: the
+					// before version is the null version at the deletion's TS.
+					rec.Before = nil
+					rec.Flags |= page.FlagBeforeNull
+				}
+			}
+			rec.TS = 0
+		} else {
+			rec.TS, rec.BeforeTS, rec.Hist = 0, 0, nil
 		}
 		rec.Value = cloneBytes(op.Value)
 		rec.Flags &^= page.FlagTombstone
@@ -271,20 +323,23 @@ func applyWrite(leaf *page.Page, op *base.Op) *base.Result {
 			// before version for read-committed readers (§6.2.2).
 			if !rec.HasBefore() {
 				rec.Before = rec.Value
+				rec.BeforeTS = rec.TS
 				rec.Flags |= page.FlagHasBefore
 			}
 			rec.Value = nil
+			rec.TS = 0
 			rec.Flags |= page.FlagTombstone
 			rec.Owner = op.TC
 		} else {
 			leaf.Remove(op.Key)
 		}
 	case base.OpCommitVersions:
-		// Eliminate the before version, making the later version the
-		// committed version (§6.2.2). Missing records and already
-		// finalized records are no-ops: commits are resent and replayed.
+		// Finalize the versioned write (§6.2.2). With a commit TS the before
+		// version moves into history for snapshot readers; without one the
+		// legacy discard applies. Missing records and already finalized
+		// records are no-ops: commits are resent and replayed.
 		if rec != nil {
-			if rec.CommitVersion() {
+			if rec.CommitVersionAt(op.TS, horizon) {
 				leaf.Remove(op.Key)
 			}
 		}

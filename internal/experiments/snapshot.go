@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cidr09/unbundled/internal/core"
+	"github.com/cidr09/unbundled/internal/harness"
+	"github.com/cidr09/unbundled/internal/tc"
+)
+
+// E9 measures read throughput under write contention: the pre-snapshot
+// locked read path (SnapshotLocked — S locks through the TC, so a
+// multi-key read pays a lock wait at every hot key, each behind an
+// independent writer's commit-duration X lock) against the default
+// timestamp-snapshot path (lock-free, served by the DC at the read
+// timestamp; the only wait is for the safe timestamp to pass it — one
+// in-flight commit window total, however many keys the read touches).
+// One writer per hot key keeps every key X-locked almost continuously
+// in versioned transactions while each reader mode runs the identical
+// multi-key read transaction.
+func E9(s Scale) *harness.Table {
+	t := harness.NewTable("note")
+	const hot = 16
+	hotKey := func(k int) string { return fmt.Sprintf("hot%d", k) }
+	for _, mode := range []struct {
+		name string
+		opts core.TxnOptions
+		note string
+	}{
+		{"locked reads", core.TxnOptions{ReadOnly: true, Snapshot: core.SnapshotLocked},
+			"S locks convoy behind writer commits"},
+		{"snapshot reads", core.TxnOptions{ReadOnly: true},
+			"lock-free at the read timestamp"},
+	} {
+		dep, err := core.New(core.Options{TCs: 1, DCs: 1, Tables: []string{"kv"},
+			TCConfig: func(int) tc.Config { return tc.Config{ForceDelay: 2 * time.Millisecond} }})
+		if err != nil {
+			panic(err)
+		}
+		ctx := context.Background()
+		client := dep.Client()
+		write := func(k, round int) error {
+			return client.RunTxn(ctx, core.TxnOptions{Versioned: true}, func(x *tc.Txn) error {
+				return x.Upsert("kv", hotKey(k), []byte(fmt.Sprintf("v%d", round)))
+			})
+		}
+		for k := 0; k < hot; k++ {
+			must(write(k, 0))
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var rounds atomic.Uint64
+		for w := 0; w < hot; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := 1; ; r++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if write(w, r) == nil {
+						rounds.Add(1)
+					}
+				}
+			}(w)
+		}
+		// Measure only the steady state: a couple of writer rounds through.
+		for rounds.Load() < 2*hot {
+			time.Sleep(time.Millisecond)
+		}
+		res := harness.Run(mode.name, s.Workers, s.TxnsPerW/8, func(w, i int) error {
+			return client.RunTxn(ctx, mode.opts, func(x *tc.Txn) error {
+				for k := 0; k < hot; k++ {
+					if _, _, err := x.Read("kv", hotKey(k)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		close(stop)
+		wg.Wait()
+		res.ExtraCols = []string{mode.note}
+		t.Add(res)
+		dep.Close()
+	}
+	return t
+}

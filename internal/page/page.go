@@ -34,16 +34,40 @@ const (
 	FlagBeforeNull
 	// FlagTombstone marks the latest version as a deletion.
 	FlagTombstone
+	// FlagHasTS is an encoding marker: the serialized record carries the
+	// timestamp group (TS, BeforeTS, history). It is set at encode time
+	// and stripped at decode time, never held in Record.Flags in memory,
+	// so records without timestamps stay byte-identical to the
+	// pre-snapshot format.
+	FlagHasTS
 )
 
+// Version is one reclaimable committed version in a record's history: the
+// value that was current from TS until the next version's commit
+// timestamp. Del marks a committed tombstone (the key did not exist in
+// that interval). Hist is ascending by TS; entries below the GC horizon
+// are pruned (PruneVersions).
+type Version struct {
+	TS  base.TS
+	Val []byte
+	Del bool
+}
+
 // Record is one record slot. Value is the latest version; Before the
-// retained committed version when FlagHasBefore is set.
+// retained committed version when FlagHasBefore is set. TS is the commit
+// timestamp of Value (zero: unversioned/ancient, visible to every
+// snapshot); BeforeTS the commit timestamp of Before while a versioned
+// write is in flight; Hist holds older committed versions for snapshot
+// reads.
 type Record struct {
-	Key    string
-	Owner  base.TCID
-	Flags  uint8
-	Value  []byte
-	Before []byte
+	Key      string
+	Owner    base.TCID
+	Flags    uint8
+	Value    []byte
+	Before   []byte
+	TS       base.TS
+	BeforeTS base.TS
+	Hist     []Version
 }
 
 // HasBefore reports whether an uncommitted later version exists.
@@ -78,10 +102,42 @@ func (r *Record) ReadVersion(flavor base.ReadFlavor) (val []byte, visible bool) 
 	}
 }
 
-// CommitVersion finalizes the uncommitted version (§6.2.2): the before
-// version is eliminated, making the later version the committed one.
-// It reports whether the record should be removed from the page (a
-// committed tombstone).
+// VersionAt returns the value committed at snapshot timestamp t: the
+// newest committed version with commit TS <= t. An in-flight versioned
+// write is never visible (the retained before version and history carry
+// the committed state); a tombstone or null version at t reads as "not
+// found". TS zero versions (unversioned/ancient data) are visible to
+// every snapshot.
+func (r *Record) VersionAt(t base.TS) (val []byte, visible bool) {
+	if r.HasBefore() {
+		if r.BeforeTS <= t {
+			if r.BeforeNull() {
+				return nil, false
+			}
+			return r.Before, true
+		}
+	} else if r.TS <= t {
+		if r.Tombstone() {
+			return nil, false
+		}
+		return r.Value, true
+	}
+	for i := len(r.Hist) - 1; i >= 0; i-- {
+		if r.Hist[i].TS <= t {
+			if r.Hist[i].Del {
+				return nil, false
+			}
+			return r.Hist[i].Val, true
+		}
+	}
+	return nil, false
+}
+
+// CommitVersion finalizes the uncommitted version (§6.2.2) with no commit
+// timestamp: the before version is eliminated, making the later version
+// the committed one. It reports whether the record should be removed from
+// the page (a committed tombstone). Timestamped commits use
+// CommitVersionAt, which retains the before version for snapshots.
 func (r *Record) CommitVersion() (remove bool) {
 	if !r.HasBefore() {
 		// Already finalized (idempotent replays are filtered by abstract
@@ -93,28 +149,116 @@ func (r *Record) CommitVersion() (remove bool) {
 	}
 	r.Flags &^= FlagHasBefore | FlagBeforeNull
 	r.Before = nil
+	r.BeforeTS = 0
 	return false
 }
 
+// CommitVersionAt finalizes the uncommitted version at commit timestamp c:
+// the before version — committed until this instant — moves into the
+// record's history so snapshots below c keep resolving, and the later
+// version becomes the committed one stamped c. A committed tombstone is
+// retained (not removed) until the GC horizon passes it, so snapshots
+// below the deletion still see the prior value. It reports whether the
+// record is immediately reclaimable. horizon prunes history in passing.
+func (r *Record) CommitVersionAt(c, horizon base.TS) (remove bool) {
+	if c == 0 {
+		return r.CommitVersion()
+	}
+	if !r.HasBefore() {
+		// Already finalized; reclaim a tombstone only once no snapshot can
+		// see below it.
+		return r.PruneVersions(horizon)
+	}
+	switch {
+	case r.BeforeNull() && r.BeforeTS != 0:
+		// The before version was a committed tombstone (insert after a
+		// versioned delete): keep the deletion visible below c.
+		r.Hist = append(r.Hist, Version{TS: r.BeforeTS, Del: true})
+	case !r.BeforeNull():
+		r.Hist = append(r.Hist, Version{TS: r.BeforeTS, Val: r.Before})
+	}
+	r.Flags &^= FlagHasBefore | FlagBeforeNull
+	r.Before = nil
+	r.BeforeTS = 0
+	r.TS = c
+	return r.PruneVersions(horizon)
+}
+
 // AbortVersion rolls back the uncommitted version: the latest version is
-// removed and the before version restored. It reports whether the record
-// should be removed (versioned insert rolled back).
+// removed and the before version (value or tombstone) restored with its
+// commit timestamp. It reports whether the record should be removed (a
+// versioned insert of a never-existing key rolled back).
 func (r *Record) AbortVersion() (remove bool) {
 	if !r.HasBefore() {
 		return false
 	}
 	if r.BeforeNull() {
-		return true
+		if r.BeforeTS == 0 && len(r.Hist) == 0 {
+			return true
+		}
+		// The before version was a committed tombstone: restore it.
+		r.Value = nil
+		r.Before = nil
+		r.TS = r.BeforeTS
+		r.BeforeTS = 0
+		r.Flags = (r.Flags &^ (FlagHasBefore | FlagBeforeNull)) | FlagTombstone
+		return false
 	}
 	r.Value = r.Before
 	r.Before = nil
+	r.TS = r.BeforeTS
+	r.BeforeTS = 0
 	r.Flags &^= FlagHasBefore | FlagBeforeNull | FlagTombstone
 	return false
 }
 
+// PruneVersions discards history no snapshot can reach, given that no
+// live or future snapshot reads below horizon: everything older than the
+// newest committed version at or below horizon. It reports whether the
+// whole record is reclaimable (a committed, timestamped tombstone at or
+// below the horizon with no retained history).
+func (r *Record) PruneVersions(horizon base.TS) (remove bool) {
+	if horizon == 0 {
+		return false
+	}
+	cur := r.TS
+	if r.HasBefore() {
+		cur = r.BeforeTS
+	}
+	if cur <= horizon {
+		// The current committed version already covers every reachable
+		// snapshot; the whole history is unreachable.
+		r.Hist = nil
+	} else if n := len(r.Hist); n > 0 {
+		idx := -1
+		for i := n - 1; i >= 0; i-- {
+			if r.Hist[i].TS <= horizon {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 && r.Hist[idx].Del {
+			// A tombstone at the horizon boundary resolves identically to
+			// "no version": drop it too.
+			idx++
+		}
+		if idx > 0 {
+			r.Hist = append(r.Hist[:0:0], r.Hist[idx:]...)
+		}
+	}
+	return !r.HasBefore() && r.Tombstone() && r.TS != 0 && r.TS <= horizon && len(r.Hist) == 0
+}
+
 // size returns the serialized footprint of the record.
 func (r *Record) size() int {
-	return 8 + len(r.Key) + len(r.Value) + len(r.Before)
+	n := 8 + len(r.Key) + len(r.Value) + len(r.Before)
+	if r.TS != 0 || r.BeforeTS != 0 || len(r.Hist) > 0 {
+		n += 20
+		for i := range r.Hist {
+			n += 12 + len(r.Hist[i].Val)
+		}
+	}
+	return n
 }
 
 // Page is one DC page: either a leaf holding records or a branch holding
@@ -324,6 +468,16 @@ func (p *Page) Clone() *Page {
 			if len(c.Recs[i].Value) == 0 {
 				c.Recs[i].Value = nil
 			}
+			if len(p.Recs[i].Hist) > 0 {
+				h := make([]Version, len(p.Recs[i].Hist))
+				copy(h, p.Recs[i].Hist)
+				for j := range h {
+					if h[j].Val != nil {
+						h[j].Val = append([]byte(nil), h[j].Val...)
+					}
+				}
+				c.Recs[i].Hist = h
+			}
 		}
 		return c
 	}
@@ -352,11 +506,32 @@ func (p *Page) Encode() []byte {
 			buf = binary.AppendUvarint(buf, uint64(len(r.Key)))
 			buf = append(buf, r.Key...)
 			buf = binary.AppendUvarint(buf, uint64(r.Owner))
-			buf = append(buf, r.Flags)
+			hasTS := r.TS != 0 || r.BeforeTS != 0 || len(r.Hist) > 0
+			flags := r.Flags
+			if hasTS {
+				flags |= FlagHasTS
+			}
+			buf = append(buf, flags)
 			buf = binary.AppendUvarint(buf, uint64(len(r.Value)))
 			buf = append(buf, r.Value...)
 			buf = binary.AppendUvarint(buf, uint64(len(r.Before)))
 			buf = append(buf, r.Before...)
+			if hasTS {
+				buf = binary.AppendUvarint(buf, uint64(r.TS))
+				buf = binary.AppendUvarint(buf, uint64(r.BeforeTS))
+				buf = binary.AppendUvarint(buf, uint64(len(r.Hist)))
+				for j := range r.Hist {
+					v := &r.Hist[j]
+					buf = binary.AppendUvarint(buf, uint64(v.TS))
+					if v.Del {
+						buf = append(buf, 1)
+					} else {
+						buf = append(buf, 0)
+					}
+					buf = binary.AppendUvarint(buf, uint64(len(v.Val)))
+					buf = append(buf, v.Val...)
+				}
+			}
 		}
 		return buf
 	}
@@ -402,6 +577,23 @@ func Decode(data []byte) (*Page, error) {
 				r.Flags = d.byte()
 				r.Value = d.bytes()
 				r.Before = d.bytes()
+				if r.Flags&FlagHasTS != 0 {
+					r.Flags &^= FlagHasTS
+					r.TS = base.TS(d.uvarint())
+					r.BeforeTS = base.TS(d.uvarint())
+					hn := d.uvarint()
+					if d.err == nil && hn > uint64(len(d.buf)) {
+						return nil, errCorrupt
+					}
+					if d.err == nil && hn > 0 {
+						r.Hist = make([]Version, hn)
+						for j := range r.Hist {
+							r.Hist[j].TS = base.TS(d.uvarint())
+							r.Hist[j].Del = d.byte() != 0
+							r.Hist[j].Val = d.bytes()
+						}
+					}
+				}
 			}
 		}
 	} else {

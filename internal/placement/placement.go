@@ -65,7 +65,7 @@ import (
 // Router is the run-time placement oracle a TC (and the deployment
 // client) consults: data placement for shipping operations, update
 // ownership for §6.1 enforcement and write-intent routing. Placement
-// implements it; RouteFunc adapts the deprecated routing closures.
+// implements it.
 type Router interface {
 	// DC resolves the data component index serving (table, key).
 	DC(table, key string) (int, error)
@@ -73,26 +73,6 @@ type Router interface {
 	// zero means unowned — any TC may update (no §6.1 partition).
 	Owner(table, key string) (base.TCID, error)
 }
-
-// RouteFunc adapts a legacy routing closure to the Router interface: data
-// placement by f (nil routes everything to DC 0), no ownership axis
-// (Owner is always zero, so nothing is enforced), and no unknown-table
-// detection — the closure's fall-through behaviour is preserved.
-//
-// Deprecated: declare a Placement instead; the closure cannot be
-// serialized into a flag and carries no §6.1 ownership contract.
-func RouteFunc(f func(table, key string) int) Router { return routeFunc{f} }
-
-type routeFunc struct{ f func(table, key string) int }
-
-func (r routeFunc) DC(table, key string) (int, error) {
-	if r.f == nil {
-		return 0, nil
-	}
-	return r.f(table, key), nil
-}
-
-func (r routeFunc) Owner(string, string) (base.TCID, error) { return 0, nil }
 
 type axisKind uint8
 

@@ -164,19 +164,6 @@ func TestHashBuilder(t *testing.T) {
 	}
 }
 
-func TestRouteFuncShim(t *testing.T) {
-	r := RouteFunc(func(table, key string) int { return len(key) % 3 })
-	if dc, err := r.DC("any", "ab"); err != nil || dc != 2 {
-		t.Fatalf("shim DC = %d, %v", dc, err)
-	}
-	if o, err := r.Owner("any", "ab"); err != nil || o != 0 {
-		t.Fatalf("shim Owner = %d, %v (want unowned)", o, err)
-	}
-	if dc, err := RouteFunc(nil).DC("t", "k"); err != nil || dc != 0 {
-		t.Fatalf("nil shim DC = %d, %v", dc, err)
-	}
-}
-
 // TestDigitRun pins the key-shape contract the mod/mod2 axes rely on.
 func TestDigitRun(t *testing.T) {
 	cases := []struct {

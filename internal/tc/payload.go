@@ -49,11 +49,13 @@ func decodeOpPayload(payload []byte) (op *base.Op, prior []byte, priorFound bool
 	return op, prior, rest[0] != 0, nil
 }
 
-// Commit-record payload: the versioned write set, so restart can re-issue
-// commit-versions operations for winners whose finalize messages were lost
-// with the crashed TC (§6.2.2's guarantee that before versions are
-// eventually removed).
-func encodeCommit(keys []tableKey) []byte {
+// Commit-record payload: the versioned write set plus the commit
+// timestamp, so restart can re-issue commit-versions operations for
+// winners whose finalize messages were lost with the crashed TC (§6.2.2's
+// guarantee that before versions are eventually removed) at the same
+// visibility point, and so analysis can re-seed the timestamp allocator
+// above every durable commit.
+func encodeCommit(keys []tableKey, ts base.TS) []byte {
 	buf := binary.AppendUvarint(nil, uint64(len(keys)))
 	for _, tk := range keys {
 		buf = binary.AppendUvarint(buf, uint64(len(tk.table)))
@@ -61,13 +63,16 @@ func encodeCommit(keys []tableKey) []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(tk.key)))
 		buf = append(buf, tk.key...)
 	}
+	if ts != 0 {
+		buf = binary.AppendUvarint(buf, uint64(ts))
+	}
 	return buf
 }
 
-func decodeCommit(payload []byte) ([]tableKey, error) {
+func decodeCommit(payload []byte) ([]tableKey, base.TS, error) {
 	n, w := binary.Uvarint(payload)
 	if w <= 0 {
-		return nil, fmt.Errorf("tc: corrupt commit payload")
+		return nil, 0, fmt.Errorf("tc: corrupt commit payload")
 	}
 	payload = payload[w:]
 	out := make([]tableKey, 0, n)
@@ -83,15 +88,23 @@ func decodeCommit(payload []byte) ([]tableKey, error) {
 	for i := uint64(0); i < n; i++ {
 		table, ok := readStr()
 		if !ok {
-			return nil, fmt.Errorf("tc: corrupt commit payload")
+			return nil, 0, fmt.Errorf("tc: corrupt commit payload")
 		}
 		key, ok := readStr()
 		if !ok {
-			return nil, fmt.Errorf("tc: corrupt commit payload")
+			return nil, 0, fmt.Errorf("tc: corrupt commit payload")
 		}
 		out = append(out, tableKey{table, key})
 	}
-	return out, nil
+	// Pre-timestamp records end here; they decode with timestamp zero.
+	if len(payload) == 0 {
+		return out, 0, nil
+	}
+	u, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return nil, 0, fmt.Errorf("tc: corrupt commit payload")
+	}
+	return out, base.TS(u), nil
 }
 
 // Checkpoint-record payload: the redo scan start point plus the current

@@ -44,6 +44,14 @@ func (t *TC) Crash() {
 	t.locks.Timeout = t.cfg.LockTimeout
 	old.Poison(errLockTableLost)
 	t.acks.Reset(0)
+	// Outstanding commit timestamps and snapshot pins died with their
+	// transactions; lastCommit and maxSafeSent deliberately survive (the
+	// promises they encode were already broadcast). Recover re-seeds
+	// lastCommit from the log for cross-process restarts.
+	t.tsMu.Lock()
+	t.commitOut = make(map[base.TS]struct{})
+	t.activeSnaps = make(map[base.TS]int)
+	t.tsMu.Unlock()
 }
 
 // Recover implements the TC side of the restart function (§4.2.1 restart,
@@ -74,10 +82,15 @@ func (t *TC) Recover() error {
 	// --- analysis ---
 	rssp := base.LSN(1)
 	type loser struct{ lastLSN base.LSN }
+	type winner struct {
+		keys []tableKey
+		ts   base.TS
+	}
 	losers := make(map[base.TxnID]*loser)
-	var winnersVersioned [][]tableKey
+	var winnersVersioned []winner
 	maxTxn := uint64(0)
 	maxEpoch := base.Epoch(0)
+	maxCommitTS := base.TS(0)
 	for _, rec := range records {
 		if uint64(rec.Txn) > maxTxn {
 			maxTxn = uint64(rec.Txn)
@@ -107,8 +120,13 @@ func (t *TC) Recover() error {
 			}
 		case recCommit:
 			delete(losers, rec.Txn)
-			if keys, err := decodeCommit(rec.Payload); err == nil && len(keys) > 0 {
-				winnersVersioned = append(winnersVersioned, keys)
+			if keys, cts, err := decodeCommit(rec.Payload); err == nil {
+				if cts > maxCommitTS {
+					maxCommitTS = cts
+				}
+				if len(keys) > 0 {
+					winnersVersioned = append(winnersVersioned, winner{keys, cts})
+				}
 			}
 		case recAbort:
 			delete(losers, rec.Txn)
@@ -119,6 +137,21 @@ func (t *TC) Recover() error {
 	t.rssp = rssp
 	t.nextTxn = maxTxn
 	t.mu.Unlock()
+
+	// Re-seed the commit-timestamp allocator above every durable commit
+	// and above the clock's current reading. The clock clamp covers safe
+	// timestamps a previous process broadcast without committing anything
+	// (those tracked its clock), relying on the wall clock not stepping
+	// backwards across a process restart — the same assumption the System
+	// clock's monotonic forcing makes within one process.
+	if now, _ := t.clock.Now(); now > maxCommitTS {
+		maxCommitTS = now
+	}
+	t.tsMu.Lock()
+	if maxCommitTS > t.lastCommit {
+		t.lastCommit = maxCommitTS
+	}
+	t.tsMu.Unlock()
 
 	// --- mint the new incarnation epoch and force it before anything is
 	// stamped with it. The stable log always names the newest prior epoch
@@ -192,14 +225,14 @@ func (t *TC) Recover() error {
 
 	// --- re-finalize winners' versioned writes (§6.2.2: before versions
 	// are guaranteed to be eventually removed) ---
-	for _, keys := range winnersVersioned {
-		for _, tk := range keys {
+	for _, w := range winnersVersioned {
+		for _, tk := range w.keys {
 			idx, err := t.dcIndex(tk.table, tk.key)
 			if err != nil {
 				return fmt.Errorf("tc %d: re-finalize %s/%q: %w", t.cfg.ID, tk.table, tk.key, err)
 			}
 			op := &base.Op{TC: t.cfg.ID, Kind: base.OpCommitVersions,
-				Table: tk.table, Key: tk.key}
+				Table: tk.table, Key: tk.key, TS: w.ts}
 			rec := &wal.Record{Kind: recOp, Payload: encodeOpPayload(op, nil, false)}
 			op.Epoch = newEpoch
 			op.LSN = t.log.AppendAssign(rec)

@@ -1,0 +1,167 @@
+package tc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/cidr09/unbundled/internal/clock"
+)
+
+// commitVersioned commits table t key "k" = val in one versioned txn.
+func commitVersioned(t *testing.T, tcx *TC, key, val string) {
+	t.Helper()
+	if err := tcx.RunTxnOnce(context.Background(), TxnOptions{Versioned: true}, func(x *Txn) error {
+		return x.Upsert("t", key, []byte(val))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapRead begins a snapshot transaction shaped by opts, reads one key,
+// and commits.
+func snapRead(t *testing.T, tcx *TC, opts TxnOptions, key string) (string, bool) {
+	t.Helper()
+	opts.ReadOnly = true
+	x := tcx.Begin(context.Background(), opts)
+	v, ok, err := x.Read("t", key)
+	if err != nil {
+		t.Fatalf("snapshot read: %v", err)
+	}
+	if err := x.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return string(v), ok
+}
+
+// TestSnapshotReadsCommittedPrefix is the headline contract: a snapshot
+// read sees exactly the committed state at its timestamp, does not block
+// on a concurrent writer's X lock, and involves neither the lock manager
+// nor a TC round trip.
+func TestSnapshotReadsCommittedPrefix(t *testing.T) {
+	fake := clock.NewFake(1000, 0)
+	tcx, d := newPair(t, Config{Clock: fake})
+	commitVersioned(t, tcx, "k", "v1")
+
+	// A concurrent writer updates the key but has not committed: it holds
+	// the X lock and the DC record carries an uncommitted after version.
+	w := tcx.Begin(context.Background(), TxnOptions{Versioned: true})
+	if err := w.Update("t", "k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+
+	locks0 := tcx.Locks().Stats().Acquired
+	ops0 := tcx.Stats().OpsSent
+	if v, ok := snapRead(t, tcx, TxnOptions{}, "k"); !ok || v != "v1" {
+		t.Fatalf("snapshot under writer lock: %q %v, want v1", v, ok)
+	}
+	if got := tcx.Locks().Stats().Acquired - locks0; got != 0 {
+		t.Fatalf("snapshot read acquired %d locks, want 0", got)
+	}
+	if got := tcx.Stats().OpsSent - ops0; got != 0 {
+		t.Fatalf("snapshot read cost %d TC round trips, want 0", got)
+	}
+	if n := tcx.Stats().Snapshots; n != 1 {
+		t.Fatalf("snapshot txn count: %d", n)
+	}
+
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh snapshot begun after the commit completed must see it, even
+	// though the clock has not ticked (the snapshot clamps to lastCommit).
+	if v, ok := snapRead(t, tcx, TxnOptions{}, "k"); !ok || v != "v2" {
+		t.Fatalf("snapshot after commit: %q %v, want v2", v, ok)
+	}
+	if got := d.Stats().SnapshotReads; got < 2 {
+		t.Fatalf("DC snapshot-read count: %d, want >= 2", got)
+	}
+}
+
+// TestSnapshotUncertaintyWait: a fresh snapshot waits out the clock's
+// uncertainty window before its first read can run, and a bounded
+// snapshot does not wait at all.
+func TestSnapshotUncertaintyWait(t *testing.T) {
+	fake := clock.NewFake(1000, 500*time.Nanosecond)
+	tcx, _ := newPair(t, Config{Clock: fake})
+
+	begun := make(chan *Txn)
+	go func() {
+		begun <- tcx.Begin(context.Background(), TxnOptions{ReadOnly: true})
+	}()
+	select {
+	case <-begun:
+		t.Fatal("fresh snapshot Begin returned inside the uncertainty window")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// snap = 1000+500; the wait needs Now().ts > snap+unc = 2000.
+	fake.Set(2001)
+	x := <-begun
+	if x.SnapshotTS() != 1500 {
+		t.Fatalf("snapshot TS: %d, want 1500", x.SnapshotTS())
+	}
+	_ = x.Commit()
+
+	y := tcx.Begin(context.Background(), TxnOptions{ReadOnly: true,
+		Snapshot: SnapshotBounded, Staleness: 100 * time.Nanosecond})
+	if y.SnapshotTS() != 2001-100 {
+		t.Fatalf("bounded snapshot TS: %d, want %d", y.SnapshotTS(), 2001-100)
+	}
+	_ = y.Commit()
+}
+
+// TestSnapshotBoundedStaleness: bounded snapshots travel back in time
+// through the version history, clamped to the retention window.
+func TestSnapshotBoundedStaleness(t *testing.T) {
+	fake := clock.NewFake(1000, 0)
+	tcx, _ := newPair(t, Config{Clock: fake, SnapshotRetention: 2 * time.Microsecond})
+	commitVersioned(t, tcx, "k", "v1") // commit TS just above 1000
+	fake.Set(2000)
+	commitVersioned(t, tcx, "k", "v2") // commit TS at/just above 2000
+	fake.Set(3000)
+
+	// 900ns back => reads at 2100: after v2.
+	if v, ok := snapRead(t, tcx, TxnOptions{Snapshot: SnapshotBounded,
+		Staleness: 900 * time.Nanosecond}, "k"); !ok || v != "v2" {
+		t.Fatalf("900ns-stale read: %q %v, want v2", v, ok)
+	}
+	// 1500ns back => reads at 1500: between the commits, sees v1.
+	if v, ok := snapRead(t, tcx, TxnOptions{Snapshot: SnapshotBounded,
+		Staleness: 1500 * time.Nanosecond}, "k"); !ok || v != "v1" {
+		t.Fatalf("1500ns-stale read: %q %v, want v1", v, ok)
+	}
+	// Staleness beyond the retention window clamps to it (2µs => 1000).
+	if x := tcx.Begin(context.Background(), TxnOptions{ReadOnly: true,
+		Snapshot: SnapshotBounded, Staleness: time.Hour}); x.SnapshotTS() != 1000 {
+		t.Fatalf("clamped snapshot TS: %d, want 1000", x.SnapshotTS())
+	} else {
+		_ = x.Commit()
+	}
+	// Fresh sees the newest state.
+	if v, ok := snapRead(t, tcx, TxnOptions{}, "k"); !ok || v != "v2" {
+		t.Fatalf("fresh read: %q %v, want v2", v, ok)
+	}
+}
+
+// TestSnapshotCommitTSRecovery: commit timestamps survive a TC crash —
+// restart re-finalizes winners at their logged timestamps and never
+// assigns a new commit timestamp at or below a durable one.
+func TestSnapshotCommitTSRecovery(t *testing.T) {
+	fake := clock.NewFake(1000, 0)
+	tcx, _ := newPair(t, Config{Clock: fake})
+	commitVersioned(t, tcx, "k", "v1")
+	tcx.Crash()
+	if err := tcx.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	commitVersioned(t, tcx, "k", "v2")
+	if v, ok := snapRead(t, tcx, TxnOptions{}, "k"); !ok || v != "v2" {
+		t.Fatalf("fresh read after recovery: %q %v, want v2", v, ok)
+	}
+	// Once the clock passes the allocator, bounded now-reads see v2 too:
+	// recovery preserved the timestamp order of both incarnations.
+	fake.Set(5000)
+	if v, ok := snapRead(t, tcx, TxnOptions{Snapshot: SnapshotBounded}, "k"); !ok || v != "v2" {
+		t.Fatalf("bounded now-read after recovery: %q %v, want v2", v, ok)
+	}
+}

@@ -27,11 +27,17 @@ import (
 	"time"
 
 	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/clock"
 	"github.com/cidr09/unbundled/internal/lockmgr"
 	"github.com/cidr09/unbundled/internal/placement"
 	"github.com/cidr09/unbundled/internal/storage"
 	"github.com/cidr09/unbundled/internal/wal"
 )
+
+// defaultClock is shared by every TC built without Config.Clock, so
+// commit timestamps drawn by co-located TCs are mutually monotonic (the
+// System clock forces readings non-decreasing across callers).
+var defaultClock clock.Clock = &clock.System{}
 
 // TC-log record kinds.
 const (
@@ -92,6 +98,16 @@ type Config struct {
 	// MaxBatch caps the operations coalesced into one shipped batch
 	// message (default 64).
 	MaxBatch int
+	// Clock is the timestamp source for commit timestamps and snapshot
+	// reads (default: a process-wide monotonic clock.System with zero
+	// uncertainty). Deployments spanning machines install a clock whose
+	// Uncertainty bounds real inter-machine skew; tests install a
+	// clock.Fake.
+	Clock clock.Clock
+	// SnapshotRetention bounds how far into the past a bounded-staleness
+	// snapshot may read, and therefore how long DCs keep superseded
+	// versions before the GC horizon releases them (default 10s).
+	SnapshotRetention time.Duration
 	// Dir, when nonempty, backs the TC-log with a file in that directory
 	// (storage.OpenLogStoreFile): forced records survive process death.
 	// When the directory already holds a previous incarnation's log, New
@@ -116,6 +132,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
+	if c.Clock == nil {
+		c.Clock = defaultClock
+	}
+	if c.SnapshotRetention <= 0 {
+		c.SnapshotRetention = 10 * time.Second
+	}
 	return c
 }
 
@@ -129,6 +151,10 @@ type Stats struct {
 	Checkpoints    uint64
 	RedoOps        uint64
 	UndoOps        uint64
+	// Snapshots counts snapshot transactions begun at this TC. Their
+	// reads bypass the lock manager, the TC-log, and OpsSent entirely —
+	// the TC's only involvement is handing out the read timestamp.
+	Snapshots uint64
 }
 
 // dcHandle wraps one DC connection with the recovery gate: while the DC is
@@ -182,6 +208,7 @@ type TC struct {
 	locks  *lockmgr.Manager
 	dcs    []*dcHandle
 	router placement.Router
+	clock  clock.Clock
 
 	mu         sync.Mutex
 	down       bool
@@ -189,6 +216,18 @@ type TC struct {
 	nextTxn    uint64
 	rssp       base.LSN
 	partitions map[string]lockmgr.Partition
+
+	// tsMu guards the commit-timestamp / safe-timestamp state of the
+	// closed-timestamp protocol: a commit timestamp is assigned strictly
+	// above every safe timestamp ever broadcast, and a safe timestamp is
+	// broadcast strictly below every assigned-but-not-yet-finalized commit
+	// timestamp, so "safe >= T" at a DC really does mean no future commit
+	// of this TC can become visible at or below T.
+	tsMu        sync.Mutex
+	lastCommit  base.TS              // highest commit timestamp assigned
+	maxSafeSent base.TS              // highest safe timestamp broadcast
+	commitOut   map[base.TS]struct{} // assigned, finalize not yet acked
+	activeSnaps map[base.TS]int      // registered snapshot read timestamps
 
 	acks *ackTracker
 
@@ -212,6 +251,7 @@ type TC struct {
 
 	commits, aborts, deadlocks, opsSent   atomic.Uint64
 	probes, checkpoints, redoOps, undoOps atomic.Uint64
+	snapshots                             atomic.Uint64
 	lastEOSL                              atomic.Uint64
 	broadcastGen                          atomic.Uint64
 }
@@ -235,7 +275,7 @@ func New(cfg Config, dcs []base.Service, router placement.Router) (*TC, error) {
 		return nil, errors.New("tc: need at least one DC")
 	}
 	if router == nil {
-		router = placement.RouteFunc(nil)
+		router = placement.MustParse("*: dc=0")
 	}
 	var lmedia *storage.LogStore
 	if cfg.Dir != "" {
@@ -252,16 +292,19 @@ func New(cfg Config, dcs []base.Service, router placement.Router) (*TC, error) {
 		return nil, err
 	}
 	t := &TC{
-		cfg:        cfg,
-		lmedia:     lmedia,
-		log:        log,
-		locks:      lockmgr.New(),
-		router:     router,
-		txns:       make(map[base.TxnID]*Txn),
-		partitions: make(map[string]lockmgr.Partition),
-		acks:       newAckTracker(),
-		stopCh:     make(chan struct{}),
-		rssp:       1,
+		cfg:         cfg,
+		lmedia:      lmedia,
+		log:         log,
+		locks:       lockmgr.New(),
+		router:      router,
+		clock:       cfg.Clock,
+		txns:        make(map[base.TxnID]*Txn),
+		partitions:  make(map[string]lockmgr.Partition),
+		acks:        newAckTracker(),
+		stopCh:      make(chan struct{}),
+		rssp:        1,
+		commitOut:   make(map[base.TS]struct{}),
+		activeSnaps: make(map[base.TS]int),
 	}
 	t.locks.Timeout = cfg.LockTimeout
 	if log.LastLSN() > 0 {
@@ -413,11 +456,77 @@ func (t *TC) broadcastWatermarks() {
 	eosl := t.log.EOSL()
 	lwm := t.acks.LWM()
 	epoch := t.Epoch()
+	safe, horizon := t.safeTS()
 	for _, h := range t.dcs {
 		h.svc.EndOfStableLog(t.cfg.ID, epoch, eosl)
 		h.svc.LowWaterMark(t.cfg.ID, epoch, lwm)
+		h.svc.SafeTS(t.cfg.ID, epoch, safe, horizon)
 	}
 	t.broadcastGen.Add(1)
+}
+
+// assignCommitTS draws a commit timestamp: the clock reading, pushed
+// above both the previous commit and everything already promised safe to
+// the DCs. The timestamp stays registered in commitOut — holding the safe
+// timestamp below it — until the transaction's commit-versions finalize
+// operations are acknowledged (Txn.finish).
+func (t *TC) assignCommitTS() base.TS {
+	now, _ := t.clock.Now()
+	t.tsMu.Lock()
+	ts := now
+	if ts <= t.lastCommit {
+		ts = t.lastCommit + 1
+	}
+	if ts <= t.maxSafeSent {
+		ts = t.maxSafeSent + 1
+	}
+	t.lastCommit = ts
+	t.commitOut[ts] = struct{}{}
+	t.tsMu.Unlock()
+	return ts
+}
+
+// safeTS computes the closed-timestamp pair broadcast to the DCs.
+//
+// safe is the promise "no commit of this TC will ever become visible at
+// or below safe from now on": the clock reading (an idle TC's safe tracks
+// real time, so fresh snapshots wait at most one broadcast tick), clamped
+// below every assigned-but-unfinalized commit timestamp, and never
+// retreating. assignCommitTS keeps the promise forward by assigning
+// strictly above maxSafeSent.
+//
+// horizon is the version-GC watermark: versions invisible at every
+// timestamp above it may be pruned. It trails the clock by
+// SnapshotRetention and never passes a registered snapshot; zero means
+// "no constraint known — do not prune".
+func (t *TC) safeTS() (safe, horizon base.TS) {
+	now, _ := t.clock.Now()
+	t.tsMu.Lock()
+	safe = now
+	if t.lastCommit > safe {
+		safe = t.lastCommit
+	}
+	for ts := range t.commitOut {
+		if ts-1 < safe {
+			safe = ts - 1
+		}
+	}
+	if safe < t.maxSafeSent {
+		// Invariant: outstanding commit timestamps are strictly above
+		// maxSafeSent, so the clamp never undoes an earlier promise.
+		safe = t.maxSafeSent
+	}
+	t.maxSafeSent = safe
+	if ret := base.TS(t.cfg.SnapshotRetention); now > ret {
+		horizon = now - ret
+	}
+	for ts := range t.activeSnaps {
+		if ts < horizon {
+			horizon = ts
+		}
+	}
+	t.tsMu.Unlock()
+	return safe, horizon
 }
 
 func (t *TC) isDown() bool {
@@ -533,6 +642,7 @@ func (t *TC) Stats() Stats {
 		Checkpoints:    t.checkpoints.Load(),
 		RedoOps:        t.redoOps.Load(),
 		UndoOps:        t.undoOps.Load(),
+		Snapshots:      t.snapshots.Load(),
 	}
 }
 

@@ -577,13 +577,18 @@ func TestPayloadRoundTrips(t *testing.T) {
 	}
 
 	keys := []tableKey{{"a", "k1"}, {"b", "k2"}}
-	dk, err := decodeCommit(encodeCommit(keys))
-	if err != nil || !reflect.DeepEqual(keys, dk) {
-		t.Fatalf("commit payload: %v %v", err, dk)
+	dk, cts, err := decodeCommit(encodeCommit(keys, 909))
+	if err != nil || cts != 909 || !reflect.DeepEqual(keys, dk) {
+		t.Fatalf("commit payload: %v %v %v", err, cts, dk)
 	}
-	empty, err := decodeCommit(encodeCommit(nil))
-	if err != nil || len(empty) != 0 {
-		t.Fatalf("empty commit payload: %v %v", err, empty)
+	empty, cts, err := decodeCommit(encodeCommit(nil, 0))
+	if err != nil || cts != 0 || len(empty) != 0 {
+		t.Fatalf("empty commit payload: %v %v %v", err, cts, empty)
+	}
+	// Pre-timestamp commit payloads (no trailing varint) still decode.
+	dk, cts, err = decodeCommit(encodeCommit(keys, 0))
+	if err != nil || cts != 0 || !reflect.DeepEqual(keys, dk) {
+		t.Fatalf("legacy commit payload: %v %v %v", err, cts, dk)
 	}
 
 	r, e, err := decodeCheckpoint(encodeCheckpoint(12345, 7))

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/clock"
 	"github.com/cidr09/unbundled/internal/lockmgr"
 	"github.com/cidr09/unbundled/internal/wal"
 )
@@ -24,16 +25,48 @@ var (
 	ErrScanUnstable = errors.New("tc: fetch-ahead scan did not stabilize")
 )
 
+// SnapshotPolicy selects how a read-only transaction obtains its
+// consistent view.
+type SnapshotPolicy uint8
+
+const (
+	// SnapshotFresh (the default) reads at a fresh timestamp: the clock
+	// reading plus its uncertainty bound. Begin waits out the uncertainty
+	// window, so every transaction whose commit completed in real time
+	// before the snapshot began is visible — external consistency. With
+	// the default zero-uncertainty System clock the wait is free.
+	SnapshotFresh SnapshotPolicy = iota
+	// SnapshotBounded reads at now minus TxnOptions.Staleness (clamped to
+	// the TC's SnapshotRetention): no uncertainty wait and usually no
+	// safe-timestamp wait either, trading freshness for latency.
+	SnapshotBounded
+	// SnapshotLocked is the pre-snapshot posture: a read-only transaction
+	// that still takes shared locks and reads current state through the
+	// TC. It exists for comparison (experiment E9) and for callers that
+	// need read-your-lock semantics against unversioned writers.
+	SnapshotLocked
+)
+
 // TxnOptions shapes one transaction. The zero value is a plain
 // (unversioned, read-write) transaction using the TC's configured lock
 // timeout.
 type TxnOptions struct {
 	// Versioned makes writes keep before versions (§6.2.2), enabling
-	// cross-TC read-committed readers and cheap undo.
+	// cross-TC read-committed readers and cheap undo. Versioned commits
+	// carry a commit timestamp, which is what makes the writes visible to
+	// snapshot readers.
 	Versioned bool
-	// ReadOnly refuses every mutation with base.ErrReadOnly. Reads and
-	// scans behave normally (including the locking flavors).
+	// ReadOnly refuses every mutation with base.ErrReadOnly and — unless
+	// Snapshot is SnapshotLocked — turns the transaction into a snapshot
+	// read: Begin draws a read timestamp, and every Read/Scan is served
+	// by the DC at that timestamp without locks, without consuming LSNs,
+	// and without any TC round trip.
 	ReadOnly bool
+	// Snapshot selects the read-only view policy; ignored unless ReadOnly.
+	Snapshot SnapshotPolicy
+	// Staleness is how far behind now a SnapshotBounded view may read
+	// (clamped to the TC's SnapshotRetention); ignored otherwise.
+	Staleness time.Duration
 	// LockTimeout overrides the TC's configured lock-wait bound for this
 	// transaction: positive bounds each wait, negative waits forever, zero
 	// keeps the TC default.
@@ -97,6 +130,13 @@ type Txn struct {
 	// Abort (and scans, for read-your-writes) wait on it before relying on
 	// DC state. Unused (always empty) when pipelining is off.
 	pend pending
+	// snapTS is the snapshot read timestamp (nonzero only for snapshot
+	// transactions): every read is served by the DC at this timestamp.
+	snapTS base.TS
+	// commitTS is the commit timestamp assigned when a versioned
+	// transaction commits; it holds the TC's safe timestamp down until
+	// the finalize operations are acknowledged.
+	commitTS base.TS
 }
 
 // Begin starts a transaction shaped by opts, bound to ctx. A nil ctx is
@@ -115,8 +155,54 @@ func (t *TC) Begin(ctx context.Context, opts TxnOptions) *Txn {
 	}
 	t.txns[id] = x
 	t.mu.Unlock()
+	if opts.ReadOnly && opts.Snapshot != SnapshotLocked {
+		x.beginSnapshot()
+	}
 	return x
 }
+
+// beginSnapshot draws the transaction's read timestamp and registers it
+// so the TC's GC horizon cannot pass it while the snapshot is live. A
+// fresh snapshot then waits out the clock's uncertainty window: once
+// WaitUntilAfter returns, no clock in the deployment can still read
+// snapTS or earlier, so no later-starting commit can be assigned a
+// timestamp at or below it — reads at snapTS are externally consistent.
+// A cancelled wait is not an error here; the reads themselves honor the
+// context and will fail promptly.
+func (x *Txn) beginSnapshot() {
+	t := x.tc
+	now, unc := t.clock.Now()
+	snap := now + base.TS(unc)
+	if x.opts.Snapshot == SnapshotBounded {
+		back := x.opts.Staleness
+		if back > t.cfg.SnapshotRetention {
+			back = t.cfg.SnapshotRetention
+		}
+		snap = 1
+		if now > base.TS(back) {
+			snap = now - base.TS(back)
+		}
+	}
+	t.tsMu.Lock()
+	if x.opts.Snapshot != SnapshotBounded && t.lastCommit > snap {
+		// Never read below this TC's own newest commit: guarantees fresh
+		// snapshots observe local commits even when the clock has not yet
+		// caught the allocator up (frozen test clocks, bursts of commits
+		// within one clock tick).
+		snap = t.lastCommit
+	}
+	x.snapTS = snap
+	t.activeSnaps[snap]++
+	t.tsMu.Unlock()
+	t.snapshots.Add(1)
+	if x.opts.Snapshot != SnapshotBounded && unc > 0 {
+		_ = clock.WaitUntilAfter(x.ctx, t.clock, snap)
+	}
+}
+
+// SnapshotTS returns the snapshot read timestamp, zero for transactions
+// that are not snapshot reads.
+func (x *Txn) SnapshotTS() base.TS { return x.snapTS }
 
 // RunTxnOnce runs fn inside a single transaction attempt: commit on
 // success, abort on failure, no retry. Callers owning their own retry
@@ -192,7 +278,10 @@ func (x *Txn) lock(res lockmgr.Resource, mode lockmgr.Mode) error {
 	return err
 }
 
-// Read returns the committed-by-lock value of key in this TC's partition
+// Read returns the value of key as of the transaction's view. In a
+// snapshot transaction that is the version visible at the snapshot
+// timestamp, served by the DC without locks and without TC involvement;
+// otherwise it is the committed-by-lock value in this TC's partition
 // (plain read under a shared lock; the owner also sees its own writes).
 func (x *Txn) Read(table, key string) ([]byte, bool, error) {
 	if x.state != txnActive {
@@ -201,10 +290,70 @@ func (x *Txn) Read(table, key string) ([]byte, bool, error) {
 	if c, ok := x.cache[tableKey{table, key}]; ok {
 		return c.val, c.found, nil
 	}
+	if x.snapTS != 0 {
+		return x.snapshotRead(table, key)
+	}
 	if err := x.lockFor(table, key, lockmgr.S); err != nil {
 		return nil, false, err
 	}
 	return x.readOp(table, key, base.ReadPlain, true)
+}
+
+// snapshotRead serves a point read at the snapshot timestamp: shipped
+// straight to the DC with no lock, no LSN, and no log interaction. The
+// view at a fixed timestamp is immutable, so results are cached like
+// locked reads.
+func (x *Txn) snapshotRead(table, key string) ([]byte, bool, error) {
+	res, err := x.snapshotOp(&base.Op{TC: x.tc.cfg.ID, Kind: base.OpRead, Table: table, Key: key,
+		Flavor: base.ReadSnapshot, TS: x.snapTS})
+	if err != nil {
+		return nil, false, fmt.Errorf("tc: snapshot read %s/%s: %w", table, key, err)
+	}
+	switch res.Code {
+	case base.CodeOK:
+		x.cache[tableKey{table, key}] = cachedVal{val: res.Value, found: true}
+		return res.Value, true, nil
+	case base.CodeNotFound:
+		x.cache[tableKey{table, key}] = cachedVal{found: false}
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("tc: snapshot read %s/%s: %w", table, key, x.resErr(res))
+	}
+}
+
+// snapshotOp ships one snapshot-flavored operation directly to its DC,
+// bypassing the logging/ack machinery entirely: the op carries no LSN
+// (nothing tracks it) and Perform is called without going through
+// performOn, so OpsSent stays untouched — a snapshot read really is
+// zero-TC-round-trip. CodeUnavailable means the DC gave up waiting for
+// some TC's safe timestamp to cover snapTS (a TC partitioned or down);
+// the read retries after a pause, bounded only by the caller's context,
+// because the condition clears as soon as the lagging TC's broadcasts
+// resume.
+func (x *Txn) snapshotOp(op *base.Op) (*base.Result, error) {
+	t := x.tc
+	idx, err := t.dcIndex(op.Table, op.Key)
+	if err != nil {
+		return nil, err
+	}
+	op.Epoch = t.Epoch()
+	h := t.dcs[idx]
+	for {
+		if err := h.waitReady(x.ctx); err != nil {
+			return nil, err
+		}
+		res := h.svc.Perform(x.ctx, op)
+		if res.Code != base.CodeUnavailable {
+			return res, nil
+		}
+		timer := time.NewTimer(10 * time.Millisecond)
+		select {
+		case <-timer.C:
+		case <-x.ctx.Done():
+			timer.Stop()
+			return nil, base.CancelErr(x.ctx)
+		}
+	}
 }
 
 // readOp issues the read operation (allocating a request ID) and caches.
@@ -453,8 +602,24 @@ func (x *Txn) Commit() error {
 	for tk := range x.versioned {
 		vkeys = append(vkeys, tk)
 	}
+	if x.lastLSN == 0 && len(vkeys) == 0 {
+		// Read-only (or no-op) commit: the transaction logged nothing, so
+		// there is no outcome to make durable — no commit record, no log
+		// force. Restart treats an unlogged transaction as having no
+		// effects, which is exactly right.
+		x.state = txnCommitted
+		t.commits.Add(1)
+		x.finish()
+		return nil
+	}
+	if len(vkeys) > 0 {
+		// The commit timestamp is the snapshot visibility point of this
+		// transaction's versioned writes. Logged in the commit record so
+		// restart re-finalizes winners at the same timestamp.
+		x.commitTS = t.assignCommitTS()
+	}
 	rec := &wal.Record{Kind: recCommit, Txn: x.id, Prev: x.lastLSN,
-		Payload: encodeCommit(vkeys)}
+		Payload: encodeCommit(vkeys, x.commitTS)}
 	cLSN := t.log.AppendAssign(rec)
 	t.acks.Complete(cLSN) // local record: no DC round trip
 	// The force runs in a goroutine when it must overlap the ack barrier
@@ -539,9 +704,25 @@ func (x *Txn) Commit() error {
 
 // finish releases the transaction's locks and drops it from the table:
 // the 2PL release point. Runs exactly once per transaction — inline on
-// the normal paths, from the detached finisher on a cancelled commit.
+// the normal paths, from the detached finisher on a cancelled commit. It
+// also releases the transaction's timestamp registrations: the snapshot
+// pin on the GC horizon, and the outstanding commit timestamp (every
+// path reaching finish after a commit has the finalize operations
+// acknowledged, so the safe timestamp may now pass it).
 func (x *Txn) finish() {
 	t := x.tc
+	if x.snapTS != 0 || x.commitTS != 0 {
+		t.tsMu.Lock()
+		if x.snapTS != 0 {
+			if t.activeSnaps[x.snapTS]--; t.activeSnaps[x.snapTS] <= 0 {
+				delete(t.activeSnaps, x.snapTS)
+			}
+		}
+		if x.commitTS != 0 {
+			delete(t.commitOut, x.commitTS)
+		}
+		t.tsMu.Unlock()
+	}
 	t.locks.ReleaseAll(x.id)
 	t.mu.Lock()
 	delete(t.txns, x.id)
@@ -558,7 +739,12 @@ func (x *Txn) finalizeOp(kind base.OpKind, tk tableKey) {
 	if err != nil {
 		return
 	}
-	op := &base.Op{TC: t.cfg.ID, Kind: kind, Table: tk.table, Key: tk.key}
+	// Commit-versions operations carry the commit timestamp: the DC stamps
+	// it on the record as it removes the before version, making the write
+	// visible to snapshot reads at or above it. The payload keeps the TS
+	// (only LSN and epoch are zeroed), so restart redo re-finalizes at the
+	// same timestamp.
+	op := &base.Op{TC: t.cfg.ID, Kind: kind, Table: tk.table, Key: tk.key, TS: x.commitTS}
 	rec := &wal.Record{Kind: recOp, Txn: x.id, Prev: 0,
 		Payload: encodeOpPayload(op, nil, false)}
 	op.Epoch = t.Epoch() // before the LSN assignment; see postOp
@@ -669,6 +855,21 @@ func inverseOp(op *base.Op, prior []byte, priorFound bool) *base.Op {
 func (x *Txn) Scan(table, lo, hi string, limit int) (keys []string, vals [][]byte, err error) {
 	if x.state != txnActive {
 		return nil, nil, ErrTxnDone
+	}
+	if x.snapTS != 0 {
+		// Snapshot scans need none of the §3.1 range protocols: the view
+		// at the snapshot timestamp is immutable, so one unlocked range
+		// read is already stable.
+		res, err := x.snapshotOp(&base.Op{TC: x.tc.cfg.ID, Kind: base.OpRangeRead,
+			Table: table, Key: lo, EndKey: hi, Limit: int32(limit),
+			Flavor: base.ReadSnapshot, TS: x.snapTS})
+		if err != nil {
+			return nil, nil, fmt.Errorf("tc: snapshot scan %s: %w", table, err)
+		}
+		if err := x.resErr(res); err != nil {
+			return nil, nil, err
+		}
+		return res.Keys, res.Values, nil
 	}
 	if err := x.drain(); err != nil {
 		return nil, nil, err

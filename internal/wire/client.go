@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -271,6 +272,20 @@ func (c *Client) pause(ctx context.Context) base.Code {
 // re-broadcasts the watermark periodically, so loss only delays pruning.
 func (c *Client) EndOfStableLog(tc base.TCID, epoch base.Epoch, eosl base.LSN) {
 	c.sendFn(&message{kind: msgEOSL, tc: tc, epoch: epoch, lsn: eosl})
+}
+
+// SafeTS implements base.Service as fire-and-forget; the TC re-broadcasts
+// its safe timestamp on a tick, so loss only delays snapshot reads. The
+// safe timestamp rides the frame's lsn field; the horizon travels in the
+// body.
+func (c *Client) SafeTS(tc base.TCID, epoch base.Epoch, safe base.TS, horizon base.TS) {
+	c.sendFn(&message{
+		kind:  msgSafeTS,
+		tc:    tc,
+		epoch: epoch,
+		lsn:   base.LSN(safe),
+		body:  binary.AppendUvarint(nil, uint64(horizon)),
+	})
 }
 
 // LowWaterMark implements base.Service as fire-and-forget.

@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -154,6 +155,9 @@ func (l *Listener) handle(sc *srvConn, m *message) {
 		})
 	case msgEOSL:
 		l.svc.EndOfStableLog(m.tc, m.epoch, m.lsn)
+	case msgSafeTS:
+		horizon, _ := binary.Uvarint(m.body)
+		l.svc.SafeTS(m.tc, m.epoch, base.TS(m.lsn), base.TS(horizon))
 	case msgLWM:
 		l.svc.LowWaterMark(m.tc, m.epoch, m.lsn)
 	case msgCheckpoint:

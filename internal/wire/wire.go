@@ -25,6 +25,7 @@ package wire
 
 import (
 	"context"
+	"encoding/binary"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -113,6 +114,9 @@ const (
 	msgBeginRestart
 	msgEndRestart
 	msgReply // server -> client; id correlates
+	// msgSafeTS sits after msgReply so pre-snapshot peers that validate
+	// kinds against msgReply keep accepting every frame they understand.
+	msgSafeTS
 )
 
 type message struct {
@@ -262,6 +266,9 @@ func (s *Server) run() {
 				go s.performBatch(m)
 			case msgEOSL:
 				s.svc.EndOfStableLog(m.tc, m.epoch, m.lsn)
+			case msgSafeTS:
+				horizon, _ := binary.Uvarint(m.body)
+				s.svc.SafeTS(m.tc, m.epoch, base.TS(m.lsn), base.TS(horizon))
 			case msgLWM:
 				s.svc.LowWaterMark(m.tc, m.epoch, m.lsn)
 			case msgCheckpoint:

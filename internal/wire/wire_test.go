@@ -20,6 +20,8 @@ type echoService struct {
 	applied  map[base.LSN]int
 	eosl     base.LSN
 	lwm      base.LSN
+	safe     base.TS
+	horizon  base.TS
 	ckpts    []base.LSN
 	restarts []base.Epoch
 	unavail  atomic.Bool
@@ -53,6 +55,17 @@ func (s *echoService) EndOfStableLog(tc base.TCID, epoch base.Epoch, eosl base.L
 	defer s.mu.Unlock()
 	if eosl > s.eosl {
 		s.eosl = eosl
+	}
+}
+
+func (s *echoService) SafeTS(tc base.TCID, epoch base.Epoch, safe base.TS, horizon base.TS) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if safe > s.safe {
+		s.safe = safe
+	}
+	if horizon > s.horizon {
+		s.horizon = horizon
 	}
 }
 
@@ -174,9 +187,10 @@ func TestEOSLAndLWMEventuallyArrive(t *testing.T) {
 	for time.Now().Before(deadline) {
 		cl.EndOfStableLog(1, 1, 99)
 		cl.LowWaterMark(1, 1, 88)
+		cl.SafeTS(1, 1, 77, 66)
 		time.Sleep(time.Millisecond)
 		svc.mu.Lock()
-		got := svc.eosl == 99 && svc.lwm == 88
+		got := svc.eosl == 99 && svc.lwm == 88 && svc.safe == 77 && svc.horizon == 66
 		svc.mu.Unlock()
 		if got {
 			return

@@ -59,10 +59,34 @@
 // round-robin across TCs with a least-inflight tiebreak, as do writes to
 // unowned keys. TxnOptions.TC still pins explicitly when needed.
 //
-// Options.Route, the pre-placement routing closure, remains only as a
-// deprecated shim: it cannot be serialized into a flag, carries no
-// ownership axis (nothing is enforced), and falls through silently on
-// unknown tables.
+// # Snapshot reads
+//
+// TxnOptions.ReadOnly transactions are timestamp snapshots by default:
+// Begin picks a read timestamp and every Read/Scan is answered by the
+// DCs from the committed versions at that timestamp — no locks are
+// acquired and no operation flows through the TC, so readers never block
+// writers, never deadlock, and any TC can serve any snapshot regardless
+// of update ownership. Consistency comes from time, not locks: each TC
+// continuously publishes a safe timestamp below which no new commits
+// will be assigned, and a DC answers a read at T only once every TC's
+// safe timestamp has passed T. A fresh snapshot additionally waits out
+// the clock's uncertainty window at Begin, so it observes everything
+// committed before Begin returned.
+//
+//	snap, err := client.Snapshot(ctx)   // one consistent multi-read view
+//	defer snap.Close()
+//	v, ok, err := snap.Read("kv", "hello")
+//
+// TxnOptions.Snapshot selects the policy: SnapshotFresh (default — see
+// all commits up to Begin), SnapshotBounded (read up to
+// TxnOptions.Staleness in the past, skipping both the uncertainty wait
+// and the safe-timestamp wait for already-safe timestamps), and
+// SnapshotLocked (the pre-snapshot behaviour: S locks through the TC,
+// for reads that must serialize against in-flight writers). Snapshot
+// reads see versioned writes (TxnOptions.Versioned) at full fidelity;
+// unversioned tables degrade to latest-committed-state reads. DCs prune
+// versions older than TCConfig.SnapshotRetention (default 10s), which
+// bounds SnapshotBounded staleness.
 //
 // # Contexts and cancellation
 //
@@ -185,10 +209,17 @@ type (
 	// Client is the deployment-level transaction API: routing, typed
 	// retry, and context plumbing. Obtain it with Deployment.Client.
 	Client = core.Client
-	// TxnOptions shapes one client transaction (versioning, read-only,
-	// lock timeout, write-intent routing, TC pin, retry policy). The
-	// zero value is a plain auto-routed read-write transaction.
+	// TxnOptions shapes one client transaction (versioning, read-only
+	// snapshot reads, lock timeout, write-intent routing, TC pin, retry
+	// policy). The zero value is a plain auto-routed read-write
+	// transaction.
 	TxnOptions = core.TxnOptions
+	// Snapshot is a consistent multi-read view of the deployment at one
+	// timestamp, from Client.Snapshot. Close releases it.
+	Snapshot = core.Snapshot
+	// SnapshotPolicy selects how a read-only transaction picks its read
+	// timestamp (TxnOptions.Snapshot).
+	SnapshotPolicy = core.SnapshotPolicy
 	// Options configures Open.
 	Options = core.Options
 	// Placement is the declarative deployment map: data placement
@@ -227,6 +258,13 @@ const (
 const (
 	FetchAhead  = tc.FetchAhead
 	StaticRange = tc.StaticRange
+)
+
+// Snapshot policies for read-only transactions.
+const (
+	SnapshotFresh   = core.SnapshotFresh
+	SnapshotBounded = core.SnapshotBounded
+	SnapshotLocked  = core.SnapshotLocked
 )
 
 // The error taxonomy. Branch with errors.Is; IsTransient classifies the
