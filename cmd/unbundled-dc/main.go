@@ -23,11 +23,13 @@ import (
 	"syscall"
 
 	"github.com/cidr09/unbundled/internal/dc"
+	"github.com/cidr09/unbundled/internal/stats"
 	"github.com/cidr09/unbundled/internal/wire"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "TCP listen address (use :0 for an ephemeral port)")
+	admin := flag.String("admin", "", "HTTP admin listen address serving /stats, /healthz, /drain, /undrain (empty: no admin endpoint)")
 	tables := flag.String("tables", "kv", "comma-separated tables to create (idempotent across restarts)")
 	dir := flag.String("dir", "", "data directory for stable media (empty: in-memory, lost on exit)")
 	name := flag.String("name", "dc0", "DC name for diagnostics")
@@ -66,6 +68,19 @@ func main() {
 	fmt.Printf("unbundled-dc: %s listening on %s (tables: %s)\n", *name, l.Addr(), *tables)
 	if *dir != "" {
 		fmt.Printf("unbundled-dc: stable media in %s (tables now: %s)\n", *dir, strings.Join(d.Tables(), ","))
+	}
+	if *admin != "" {
+		reg := stats.NewRegistry()
+		d.RegisterStats(reg.Group("dc"))
+		adm, err := stats.Serve(*admin, reg, d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "unbundled-dc: admin:", err)
+			os.Exit(1)
+		}
+		defer adm.Close()
+		// Same readiness protocol as the service line: parseable bound
+		// address, so -admin :0 works under a supervisor.
+		fmt.Printf("unbundled-dc: admin listening on %s\n", adm.Addr())
 	}
 
 	sigCh := make(chan os.Signal, 1)

@@ -45,15 +45,26 @@ var (
 	// the deployment's placement covers (and no "*" catch-all exists).
 	// Permanent: the spec, not the moment, is wrong.
 	ErrUnknownTable = errors.New("unbundled: table not covered by placement")
+	// ErrDraining marks a transaction refused because the component is
+	// draining: an operator asked it to quiesce, so it stops admitting
+	// new transactions while finishing in-flight ones. Transient — the
+	// client re-routes to another TC or retries after undrain.
+	ErrDraining = errors.New("unbundled: component draining")
+	// ErrPlacementMismatch marks a fleet-assembly cross-check failure:
+	// the placement spec maps a table onto a DC whose live catalog does
+	// not serve that table. Permanent: the deployment (spec or -tables
+	// flags), not the moment, is wrong.
+	ErrPlacementMismatch = errors.New("unbundled: placement does not match DC catalog")
 )
 
 // IsTransient reports whether err is an abort a caller should retry as a
 // fresh transaction: deadlock victims, bounded lock waits that timed out,
-// and component-unavailable windows. Cancellation, stale epochs, and
-// semantic failures (not-found, duplicate, read-only) are permanent.
+// component-unavailable windows, and draining components (the retry
+// re-routes). Cancellation, stale epochs, and semantic failures
+// (not-found, duplicate, read-only) are permanent.
 func IsTransient(err error) bool {
 	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrLockTimeout) ||
-		errors.Is(err, ErrUnavailable)
+		errors.Is(err, ErrUnavailable) || errors.Is(err, ErrDraining)
 }
 
 // CancelErr converts a done context into the taxonomy's cancellation
@@ -79,7 +90,8 @@ func (e *cancelErr) Is(target error) bool { return target == ErrCancelled }
 // wire as a string, so errors.Is keeps working through the stub: the known
 // sentinel messages are matched by substring and re-wrapped.
 func RehydrateWireError(msg string) error {
-	for _, sentinel := range []error{ErrStaleEpoch, ErrUnavailable, ErrWrongOwner, ErrUnknownTable} {
+	for _, sentinel := range []error{ErrStaleEpoch, ErrUnavailable, ErrWrongOwner, ErrUnknownTable,
+		ErrDraining, ErrPlacementMismatch} {
 		if strings.Contains(msg, sentinel.Error()) {
 			return &wireErr{msg: msg, sentinel: sentinel}
 		}

@@ -144,13 +144,26 @@ func (c *Client) pick(opts TxnOptions) (*tc.TC, error) {
 		}
 	}
 	start := int(c.rr.Add(1)-1) % len(tcs)
-	best := tcs[start]
-	bestLoad := best.ActiveTxns()
-	for i := 1; i < len(tcs); i++ {
+	var best *tc.TC
+	bestLoad := 0
+	for i := 0; i < len(tcs); i++ {
 		cand := tcs[(start+i)%len(tcs)]
-		if load := cand.ActiveTxns(); load < bestLoad {
+		// A draining TC sheds new work entirely: auto-routed transactions
+		// flow to its peers, which is what lets an operator quiesce one TC
+		// of a fleet without failing a single client call.
+		if cand.Draining() {
+			continue
+		}
+		if load := cand.ActiveTxns(); best == nil || load < bestLoad {
 			best, bestLoad = cand, load
 		}
+	}
+	if best == nil {
+		// Every TC is draining. Hand the attempt to one anyway: its
+		// admission gate rejects typed (ErrDraining, transient), so RunTxn's
+		// backoff rides out a drain that lifts mid-retry, and a caller that
+		// exhausts its attempts gets the honest error.
+		best = tcs[start]
 	}
 	return best, nil
 }
@@ -215,6 +228,12 @@ func (c *Client) Begin(ctx context.Context, opts TxnOptions) (*tc.Txn, error) {
 	tcx, err := c.pick(opts)
 	if err != nil {
 		return nil, err
+	}
+	if tcx.Draining() {
+		// Only reachable when the pick had no choice (a pin, a §6.1 owner,
+		// or a fleet-wide drain): admission is refused typed and transient,
+		// matching the RunTxnOnce gate.
+		return nil, fmt.Errorf("unbundled: tc %d: %w", tcx.ID(), base.ErrDraining)
 	}
 	return tcx.Begin(ctx, opts.tcOpts()), nil
 }

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/cidr09/unbundled/internal/base"
+	"github.com/cidr09/unbundled/internal/stats"
+)
+
+// The deployment's operations plane: one stats.Registry covering every
+// component this process runs, and the fleet-assembly placement
+// cross-check that refuses to serve traffic against DCs whose catalogs
+// contradict the placement spec.
+
+// StatsRegistry builds the registry an admin endpoint (stats.Serve)
+// publishes: one group per TC ("tc1", ...), one per in-process DC
+// ("dc0", ...), the simulated fabric's counters under "net" when one is
+// interposed, and every wire client endpoint under "wire" with a
+// "tc<ID>_dc<idx>_" prefix. Registration installs read-only closures over
+// counters the components already maintain; snapshots never stop the
+// world, and repeated calls return independent registries over the same
+// underlying counters.
+func (d *Deployment) StatsRegistry() *stats.Registry {
+	reg := stats.NewRegistry()
+	for _, t := range d.TCs {
+		t.RegisterStats(reg.Group(fmt.Sprintf("tc%d", t.ID())))
+	}
+	for i, dci := range d.DCs {
+		dci.RegisterStats(reg.Group(fmt.Sprintf("dc%d", i)))
+	}
+	if d.net != nil {
+		d.net.RegisterStats(reg.Group("net"))
+	}
+	var wg *stats.Group
+	for ti, row := range d.clients {
+		for di, cl := range row {
+			if cl == nil {
+				continue
+			}
+			if wg == nil {
+				wg = reg.Group("wire")
+			}
+			cl.RegisterStats(wg, fmt.Sprintf("tc%d_dc%d_", d.TCs[ti].ID(), di))
+		}
+	}
+	return reg
+}
+
+// ValidatePlacement cross-checks the placement spec against what the
+// deployment's data components actually serve: for every explicitly
+// placed table, every DC its data axis can route keys to must list the
+// table in its catalog. In-process DCs answer directly; remote DCs
+// (Options.DCAddrs) answer over the wire (msgCatalog), so the check also
+// proves each address points at a live, speaking DC. A mismatch — a fleet
+// assembled from a spec naming tables some unbundled-dc was never told to
+// serve — fails typed with base.ErrPlacementMismatch before any
+// transaction is misrouted into ErrUnknownTable aborts. Deployments built
+// without an explicit placement have nothing to check.
+func (d *Deployment) ValidatePlacement(ctx context.Context) error {
+	if d.pl == nil {
+		return nil
+	}
+	catalogs := make(map[int]map[string]bool)
+	catalog := func(i int) (map[string]bool, error) {
+		if c, ok := catalogs[i]; ok {
+			return c, nil
+		}
+		var tables []string
+		var err error
+		if i < len(d.DCs) {
+			tables = d.DCs[i].Tables()
+		} else {
+			tables, err = d.clients[0][i].Catalog(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("core: dc %d catalog: %w", i, err)
+			}
+		}
+		c := make(map[string]bool, len(tables))
+		for _, t := range tables {
+			c[t] = true
+		}
+		catalogs[i] = c
+		return c, nil
+	}
+	for _, table := range d.pl.Tables() {
+		targets, err := d.pl.DataTargets(table)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		for _, i := range targets {
+			c, err := catalog(i)
+			if err != nil {
+				return err
+			}
+			if !c[table] {
+				served := make([]string, 0, len(c))
+				for t := range c {
+					served = append(served, t)
+				}
+				sort.Strings(served)
+				return fmt.Errorf("core: placement routes table %q to dc %d, which serves %v: %w",
+					table, i, served, base.ErrPlacementMismatch)
+			}
+		}
+	}
+	return nil
+}
+
+// Drainables returns each TC paired with its admin-endpoint identity
+// ("tc<ID>"), in deployment order: the handles stats.Serve needs to back
+// /drain and /undrain. A deployment running one TC (the common fleet
+// shape — one unbundled-tc process per TC) passes Drainables()[0].
+func (d *Deployment) Drainables() []stats.Drainable {
+	out := make([]stats.Drainable, len(d.TCs))
+	for i, t := range d.TCs {
+		out[i] = t
+	}
+	return out
+}

@@ -161,6 +161,15 @@ type DC struct {
 	staleEpochs                       atomic.Uint64
 	resetPages, restoredRecs, conVios atomic.Uint64
 	snapReads, snapWaits              atomic.Uint64
+	batches, batchOps, finalizes      atomic.Uint64
+	drainRejects                      atomic.Uint64
+
+	// draining is the operations-plane admission gate (see Drain in
+	// admin.go): while set, Perform nacks new operations CodeUnavailable;
+	// inflightOps tracks operations currently executing so Quiesced can
+	// report when the drain has settled.
+	draining    atomic.Bool
+	inflightOps atomic.Int64
 }
 
 // New formats a DC over fresh stable media — or, with Config.Dir naming a

@@ -32,7 +32,15 @@ func (d *DC) Perform(ctx context.Context, op *base.Op) *base.Result {
 		d.staleEpochs.Add(1)
 		return &base.Result{LSN: op.LSN, Code: base.CodeStaleEpoch}
 	}
+	if d.draining.Load() {
+		// Operations-plane admission gate (see Drain in admin.go): nack
+		// transient, the TC's resend discipline waits the drain out.
+		d.drainRejects.Add(1)
+		return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
+	}
 	d.performs.Add(1)
+	d.inflightOps.Add(1)
+	defer d.inflightOps.Add(-1)
 	if d.inflight != nil {
 		if n := d.inflight.enter(op); n > 0 {
 			d.conVios.Add(uint64(n))
@@ -69,7 +77,12 @@ func (d *DC) Perform(ctx context.Context, op *base.Op) *base.Result {
 		if pool == nil {
 			return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
 		}
-		return d.write(pool, tree, ts, op)
+		res := d.write(pool, tree, ts, op)
+		if res.Code == base.CodeOK &&
+			(op.Kind == base.OpCommitVersions || op.Kind == base.OpAbortVersions) {
+			d.finalizes.Add(1)
+		}
+		return res
 	default:
 		return &base.Result{LSN: op.LSN, Code: base.CodeBadRequest}
 	}
@@ -83,6 +96,8 @@ func (d *DC) Perform(ctx context.Context, op *base.Op) *base.Result {
 // locks). Idempotence stays per-operation — a resent batch re-runs each
 // operation through the abstract-LSN test individually.
 func (d *DC) PerformBatch(ctx context.Context, ops []*base.Op) []*base.Result {
+	d.batches.Add(1)
+	d.batchOps.Add(uint64(len(ops)))
 	out := make([]*base.Result, len(ops))
 	for i, op := range ops {
 		out[i] = d.Perform(ctx, op)

@@ -453,6 +453,41 @@ func (p *Placement) Tables() []string {
 	return names
 }
 
+// DataTargets returns the sorted set of data-component indices the
+// table's data axis can route keys to: the fleet-assembly cross-check
+// (core.Deployment.ValidatePlacement) asks every one of them to prove it
+// actually serves the table before traffic flows. Span axes (hash, mod,
+// mod2) report their whole span — any key may land anywhere in it.
+func (p *Placement) DataTargets(table string) ([]int, error) {
+	ts, err := p.spec(table)
+	if err != nil {
+		return nil, err
+	}
+	a := ts.data
+	switch a.kind {
+	case axisFixed:
+		return []int{a.lo}, nil
+	case axisHash, axisMod, axisMod2:
+		out := make([]int, 0, a.hi-a.lo+1)
+		for t := a.lo; t <= a.hi; t++ {
+			out = append(out, t)
+		}
+		return out, nil
+	case axisRange:
+		set := make(map[int]bool, len(a.entries))
+		for _, e := range a.entries {
+			set[e.target] = true
+		}
+		out := make([]int, 0, len(set))
+		for t := range set {
+			out = append(out, t)
+		}
+		sort.Ints(out)
+		return out, nil
+	}
+	return []int{0}, nil
+}
+
 func (p *Placement) spec(table string) (tableSpec, error) {
 	if ts, ok := p.tables[table]; ok {
 		return ts, nil

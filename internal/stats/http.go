@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Drainable is the quiesce surface a component exposes to the admin
+// endpoint. Drain must only flip admission off and return immediately
+// (quiescing is observed, not awaited, so a draining process keeps
+// serving /healthz); Undrain restores admission; Quiesced reports
+// whether the drain has fully settled — no in-flight work remains.
+type Drainable interface {
+	Drain()
+	Undrain()
+	Draining() bool
+	Quiesced() bool
+}
+
+// Admin is the operations-plane HTTP server: /stats (the registry
+// snapshot as JSON), /healthz (drain state, 503 while draining so load
+// balancers eject the instance), and /drain + /undrain verbs against
+// the configured Drainable.
+type Admin struct {
+	reg    *Registry
+	target Drainable // nil: drain verbs 404
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// Serve starts the admin endpoint on addr (use host:0 for ephemeral).
+// target may be nil for a stats-only endpoint.
+func Serve(addr string, reg *Registry, target Drainable) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stats: admin listen %s: %w", addr, err)
+	}
+	a := &Admin{reg: reg, target: target, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", a.handleStats)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/drain", a.handleDrain)
+	mux.HandleFunc("/undrain", a.handleUndrain)
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go a.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return a, nil
+}
+
+// Addr returns the bound address (resolves :0).
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the server.
+func (a *Admin) Close() error { return a.srv.Close() }
+
+func (a *Admin) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := a.reg.WriteJSON(w); err != nil {
+		// Too late for a status code; the connection carries the error.
+		return
+	}
+}
+
+// health is the /healthz and /drain//undrain response body.
+type health struct {
+	Status   string `json:"status"` // "ok" | "draining" | "quiesced"
+	Draining bool   `json:"draining"`
+	Quiesced bool   `json:"quiesced"`
+}
+
+func (a *Admin) healthNow() health {
+	h := health{Status: "ok"}
+	if a.target == nil {
+		return h
+	}
+	h.Draining = a.target.Draining()
+	if h.Draining {
+		h.Status = "draining"
+		if h.Quiesced = a.target.Quiesced(); h.Quiesced {
+			h.Status = "quiesced"
+		}
+	}
+	return h
+}
+
+func writeHealth(w http.ResponseWriter, h health, code int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(h) //nolint:errcheck
+}
+
+func (a *Admin) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := a.healthNow()
+	code := http.StatusOK
+	if h.Draining {
+		// 503 while draining: health-checking load balancers stop
+		// routing here, which is the point of draining.
+		code = http.StatusServiceUnavailable
+	}
+	writeHealth(w, h, code)
+}
+
+func (a *Admin) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if a.target == nil {
+		http.NotFound(w, r)
+		return
+	}
+	a.target.Drain()
+	writeHealth(w, a.healthNow(), http.StatusOK)
+}
+
+func (a *Admin) handleUndrain(w http.ResponseWriter, r *http.Request) {
+	if a.target == nil {
+		http.NotFound(w, r)
+		return
+	}
+	a.target.Undrain()
+	writeHealth(w, a.healthNow(), http.StatusOK)
+}

@@ -212,6 +212,10 @@ func (t *TC) Recover() error {
 	// round trip, so it completes immediately after the re-base.
 	t.acks.Reset(stableEnd)
 	t.acks.Complete(epochLSN)
+	// A drain does not survive the incarnation: the flag is in-memory
+	// state, so a kill -9'd draining process restarts serving — recovery
+	// behaves identically whether or not a drain was in progress.
+	t.draining.Store(false)
 	t.mu.Lock()
 	t.down = false
 	t.mu.Unlock()

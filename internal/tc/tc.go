@@ -254,6 +254,13 @@ type TC struct {
 	snapshots                             atomic.Uint64
 	lastEOSL                              atomic.Uint64
 	broadcastGen                          atomic.Uint64
+	begun, retries, drainRejects          atomic.Uint64
+
+	// draining is the operations-plane admission gate (see Drain in
+	// admin.go): while set, RunTxnOnce refuses new transactions typed
+	// with base.ErrDraining; everything already admitted runs to
+	// completion. Not persisted — a restarted process comes back serving.
+	draining atomic.Bool
 }
 
 // New builds a TC over the given DC connections. router resolves data

@@ -145,6 +145,7 @@ func (t *TC) Begin(ctx context.Context, opts TxnOptions) *Txn {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	t.begun.Add(1)
 	t.mu.Lock()
 	t.nextTxn++
 	id := base.TxnID(t.nextTxn)
@@ -208,6 +209,13 @@ func (x *Txn) SnapshotTS() base.TS { return x.snapTS }
 // success, abort on failure, no retry. Callers owning their own retry
 // policy (the deployment client) build on this.
 func (t *TC) RunTxnOnce(ctx context.Context, opts TxnOptions, fn func(*Txn) error) error {
+	if t.draining.Load() {
+		// The admission gate of the drain protocol (see Drain): refuse
+		// before anything is locked or logged, typed and transient so the
+		// deployment client re-routes to another TC or retries later.
+		t.drainRejects.Add(1)
+		return fmt.Errorf("tc %d: %w", t.cfg.ID, base.ErrDraining)
+	}
 	x := t.Begin(ctx, opts)
 	if err := fn(x); err != nil {
 		_ = x.Abort()
@@ -230,6 +238,7 @@ func (t *TC) RunTxn(ctx context.Context, opts TxnOptions, fn func(*Txn) error) e
 		if !errors.Is(err, base.ErrDeadlock) && !errors.Is(err, base.ErrLockTimeout) {
 			return err
 		}
+		t.retries.Add(1)
 	}
 	return err
 }

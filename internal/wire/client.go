@@ -308,6 +308,21 @@ func (c *Client) EndRestart(ctx context.Context, tc base.TCID, epoch base.Epoch)
 	return c.controlErr(c.call(ctx, msgEndRestart, tc, epoch, 0, nil))
 }
 
+// Catalog asks the remote service which tables it serves (msgCatalog,
+// resent until acknowledged). The fleet-assembly placement cross-check
+// compares the answer against the placement spec. Servers whose service
+// has no catalog fail typed with base.ErrUnavailable.
+func (c *Client) Catalog(ctx context.Context) ([]string, error) {
+	reply, err := c.call(ctx, msgCatalog, 0, 0, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if reply.err != "" {
+		return nil, fmt.Errorf("wire: %w", base.RehydrateWireError(reply.err))
+	}
+	return decodeCatalog(reply.body)
+}
+
 func (c *Client) controlErr(reply *message, err error) error {
 	if err != nil {
 		return err

@@ -24,7 +24,7 @@ import (
 //
 // Frame layout (all integers are stdlib varints):
 //
-//	kind     byte        message kind (msgPerform..msgSafeTS)
+//	kind     byte        message kind (msgPerform..msgCatalog)
 //	id       uvarint     correlation id (replies echo the request's)
 //	tc       uvarint     sender TC identity
 //	epoch    uvarint     sender incarnation epoch
@@ -64,7 +64,7 @@ func decodeFrame(buf []byte) (*message, []byte, error) {
 		return nil, nil, errBadFrame
 	}
 	m := &message{kind: msgKind(buf[0])}
-	if m.kind < msgPerform || m.kind > msgSafeTS {
+	if m.kind < msgPerform || m.kind > msgCatalog {
 		return nil, nil, fmt.Errorf("%w: kind %d", errBadFrame, buf[0])
 	}
 	buf = buf[1:]
@@ -141,7 +141,7 @@ func readStreamFrame(r *bufio.Reader) (*message, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 || n > maxFrameBytes {
-		return nil, fmt.Errorf("wire: stream frame length %d out of range", n)
+		return nil, fmt.Errorf("%w: stream frame length %d out of range", errBadFrame, n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -170,6 +172,8 @@ func (l *Listener) handle(sc *srvConn, m *message) {
 		})
 	case msgEndRestart:
 		spawn(func() { sc.control(m, func() error { return l.svc.EndRestart(context.Background(), m.tc, m.epoch) }) })
+	case msgCatalog:
+		spawn(func() { sc.reply(catalogReply(l.svc, m.id)) })
 	}
 }
 
@@ -223,6 +227,14 @@ type DialConfig struct {
 	RedialBackoff time.Duration
 	// ConnectTimeout bounds one TCP connect attempt (default 2s).
 	ConnectTimeout time.Duration
+	// DropProb injects outbound frame loss: each send is silently
+	// dropped with this probability before it reaches the socket. TCP
+	// itself never loses frames, so this is the chaos knob that lets a
+	// fleet soak (cmd/soak) exercise the resend path over real sockets
+	// without killing processes. Zero (the default) disables it.
+	DropProb float64
+	// DropSeed makes the injected loss reproducible (0: seed 1).
+	DropSeed int64
 }
 
 func (c DialConfig) withDefaults() DialConfig {
@@ -247,6 +259,13 @@ func (c DialConfig) withDefaults() DialConfig {
 func Dial(addr string, cfg DialConfig) *Client {
 	cfg = cfg.withDefaults()
 	link := &tcpLink{addr: addr, cfg: cfg, ready: make(chan struct{})}
+	if cfg.DropProb > 0 {
+		seed := cfg.DropSeed
+		if seed == 0 {
+			seed = 1
+		}
+		link.dropRnd = rand.New(rand.NewSource(seed))
+	}
 	cl := newClient(link.send, func() time.Duration { return cfg.ResendAfter })
 	cl.link = link
 	cl.teardown = link.shutdown
@@ -272,8 +291,14 @@ type tcpLink struct {
 	shutOnce sync.Once
 	shut     chan struct{}
 
+	// dropRnd, when non-nil, drives DropProb loss injection; guarded by mu
+	// (send already holds it).
+	dropRnd *rand.Rand
+
 	sessions    atomic.Uint64
 	onReconnect atomic.Pointer[func()]
+
+	bytesOut, bytesIn, frameErrs, dropsInjected atomic.Uint64
 }
 
 func (ln *tcpLink) shutdown() {
@@ -347,8 +372,14 @@ func (ln *tcpLink) run() {
 		for {
 			m, err := readStreamFrame(br)
 			if err != nil {
+				if errors.Is(err, errBadFrame) {
+					// Corrupt framing, as opposed to an ordinary connection
+					// teardown: worth its own counter on the admin endpoint.
+					ln.frameErrs.Add(1)
+				}
 				break
 			}
+			ln.bytesIn.Add(uint64(m.size()))
 			ln.cl.dispatch(m)
 		}
 		ln.mu.Lock()
@@ -372,11 +403,19 @@ func (ln *tcpLink) send(m *message) {
 		ln.mu.Unlock()
 		return
 	}
+	if ln.dropRnd != nil && ln.dropRnd.Float64() < ln.cfg.DropProb {
+		// Injected loss (DialConfig.DropProb): indistinguishable from a
+		// frame the network ate; the resend loop recovers.
+		ln.dropsInjected.Add(1)
+		ln.mu.Unlock()
+		return
+	}
 	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	buf, err := writeFrame(bw, ln.buf, m)
 	ln.buf = buf
 	if err == nil {
 		err = bw.Flush()
+		ln.bytesOut.Add(uint64(len(buf)))
 	}
 	ln.mu.Unlock()
 	if err != nil {

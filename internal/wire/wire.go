@@ -117,7 +117,56 @@ const (
 	// msgSafeTS sits after msgReply so pre-snapshot peers that validate
 	// kinds against msgReply keep accepting every frame they understand.
 	msgSafeTS
+	// msgCatalog asks the server for the tables its service actually
+	// serves (the fleet-assembly placement cross-check). Appended last,
+	// like msgSafeTS, to keep old frames decoding identically.
+	msgCatalog
 )
+
+// Cataloger is the optional service facet behind msgCatalog: a server
+// whose wrapped service implements it (the DC does, via Tables) answers
+// catalog requests; otherwise the request fails typed with
+// base.ErrUnavailable so old servers and thin test fakes stay usable.
+type Cataloger interface {
+	Tables() []string
+}
+
+// appendCatalog encodes a table list as uvarint count + length-prefixed
+// names.
+func appendCatalog(buf []byte, tables []string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(tables)))
+	for _, t := range tables {
+		buf = binary.AppendUvarint(buf, uint64(len(t)))
+		buf = append(buf, t...)
+	}
+	return buf
+}
+
+func decodeCatalog(body []byte) ([]string, error) {
+	n, body, err := readUvarint(body)
+	if err != nil {
+		return nil, err
+	}
+	tables := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var raw []byte
+		if raw, body, err = readLenBytes(body); err != nil {
+			return nil, err
+		}
+		tables = append(tables, string(raw))
+	}
+	return tables, nil
+}
+
+// catalogReply builds the msgCatalog reply for a service, shared by both
+// transports.
+func catalogReply(svc base.Service, id uint64) *message {
+	if cat, ok := svc.(Cataloger); ok {
+		return &message{kind: msgReply, id: id, body: appendCatalog(nil, cat.Tables())}
+	}
+	return &message{kind: msgReply, id: id,
+		err: "wire: service has no table catalog: " + base.ErrUnavailable.Error()}
+}
 
 type message struct {
 	kind  msgKind
@@ -277,6 +326,8 @@ func (s *Server) run() {
 				go s.control(m, func() error { return s.svc.BeginRestart(context.Background(), m.tc, m.epoch, m.lsn) })
 			case msgEndRestart:
 				go s.control(m, func() error { return s.svc.EndRestart(context.Background(), m.tc, m.epoch) })
+			case msgCatalog:
+				s.net.deliver(s.out, catalogReply(s.svc, m.id))
 			}
 		}
 	}

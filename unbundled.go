@@ -166,6 +166,25 @@
 // Each TC fences the DCs with its own incarnation epochs, so killing and
 // restarting one TC process never disturbs the other's traffic (§6.1.2).
 //
+// # Operations plane
+//
+// Both binaries expose an HTTP admin endpoint with -admin <addr>: /stats
+// is a JSON snapshot of every component's counters (TC transaction and
+// pipeline counters, DC operation and recovery counters, per-connection
+// wire counters — one schema over both transports), /healthz reports
+// drain state (503 while draining, so health-checking load balancers
+// eject the instance), and /drain + /undrain quiesce and restore the
+// component. Draining is an admission gate, not a shutdown: in-flight
+// transactions finish (including the pipelined ack barrier), new work is
+// refused with the transient ErrDraining — which auto-routed clients ride
+// out by retrying onto an undrained peer — and /healthz reports
+// "quiesced" once nothing is left in flight. Drain state dies with the
+// process: a restarted component serves. Fleet assembly is cross-checked
+// at startup (Deployment.ValidatePlacement): every DC the placement
+// routes a table to must actually serve that table, else startup fails
+// with ErrPlacementMismatch. cmd/soak ties it together: a metrics-
+// asserted chaos soak over a real fleet (frame loss, kill -9, drains).
+//
 // # Restart safety: incarnation epochs
 //
 // A restarted TC reuses the LSN space above its stable log end (§5.3.2),
@@ -308,6 +327,16 @@ var (
 	// ErrUnknownTable: a placement lookup for a table no clause covers
 	// (and no "*" catch-all exists). Permanent.
 	ErrUnknownTable = base.ErrUnknownTable
+	// ErrDraining: the component is draining — finishing in-flight work
+	// while refusing new admission (the operations-plane drain verb).
+	// Transient: retry routes onto an undrained peer, or succeeds once the
+	// operator undrains.
+	ErrDraining = base.ErrDraining
+	// ErrPlacementMismatch: the fleet-assembly cross-check found a DC whose
+	// served-table catalog contradicts the placement spec
+	// (Deployment.ValidatePlacement). Permanent — fix the spec or the DC's
+	// -tables before serving traffic.
+	ErrPlacementMismatch = base.ErrPlacementMismatch
 )
 
 // ParsePlacement reads a placement spec — ";"- or newline-separated
