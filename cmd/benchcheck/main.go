@@ -6,9 +6,11 @@
 // forever. The baseline's "ratios" block additionally gates relative
 // claims: each entry names a fast and a slow benchmark and the minimum
 // slow/fast ns-per-op ratio that must hold (e.g. snapshot reads >= 3x
-// locked-read throughput under contention).
+// locked-read throughput under contention). The "throughput" block gates
+// custom b.ReportMetric metrics instead of ns/op: a completed-txn/s floor
+// and a p99-ms ceiling per benchmark (the open-loop throughput runs).
 //
-//	go test -run='^$' -bench='E1|E9' -benchtime=100x . | tee bench.txt
+//	go test -run='^$' -bench='E1|E9|ThroughputOpenLoop' . | tee bench.txt
 //	benchcheck -baseline BENCH_BASELINE.json -in bench.txt
 package main
 
@@ -23,9 +25,10 @@ import (
 )
 
 type baseline struct {
-	MaxRatio   float64              `json:"max_ratio"`
-	Benchmarks map[string]float64   `json:"benchmarks"`
-	Ratios     map[string]ratioGate `json:"ratios"`
+	MaxRatio   float64                   `json:"max_ratio"`
+	Benchmarks map[string]float64        `json:"benchmarks"`
+	Ratios     map[string]ratioGate      `json:"ratios"`
+	Throughput map[string]throughputGate `json:"throughput"`
 }
 
 // ratioGate asserts Slow's ns/op stays at least MinRatio times Fast's —
@@ -36,9 +39,23 @@ type ratioGate struct {
 	MinRatio float64 `json:"min_ratio"`
 }
 
+// throughputGate gates a benchmark's custom metrics (b.ReportMetric): the
+// "txn/s" value must stay at or above the floor, and — when a ceiling is
+// set — the "p99-ms" value at or below it. Floors are absolute (not
+// regression ratios) so they hold meaning across runner generations:
+// set them well under a healthy run's numbers.
+type throughputGate struct {
+	MinTxnPerSec float64 `json:"min_txn_per_sec"`
+	MaxP99Ms     float64 `json:"max_p99_ms"`
+}
+
 // benchLine matches e.g. "BenchmarkE1TxnMonolith-8   100   6941 ns/op ...";
-// the -8 GOMAXPROCS suffix is optional and discarded.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// the -8 GOMAXPROCS suffix is optional and discarded. The trailing group
+// carries any custom "<value> <unit>" metric pairs b.ReportMetric added.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+// metricPair matches one custom metric, e.g. "3656 txn/s" or "131.1 p99-ms".
+var metricPair = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?(?:e[+-]?[0-9]+)?) (\S+)`)
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file")
@@ -76,10 +93,19 @@ func main() {
 		fatal(err)
 	}
 	got := make(map[string]float64)
+	metrics := make(map[string]map[string]float64)
 	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(data), -1) {
 		if m := benchLine.FindStringSubmatch(line); m != nil {
 			if ns, err := strconv.ParseFloat(m[2], 64); err == nil {
 				got[m[1]] = ns
+			}
+			for _, p := range metricPair.FindAllStringSubmatch(m[3], -1) {
+				if v, err := strconv.ParseFloat(p[1], 64); err == nil {
+					if metrics[m[1]] == nil {
+						metrics[m[1]] = make(map[string]float64)
+					}
+					metrics[m[1]][p[2]] = v
+				}
 			}
 		}
 	}
@@ -118,6 +144,35 @@ func main() {
 		}
 		fmt.Printf("%s %-40s %.2fx (%s %.0f ns/op vs %s %.0f ns/op, need >= %.1fx)\n",
 			verdict, name, r, g.Fast, fast, g.Slow, slow, g.MinRatio)
+	}
+	for name, g := range base.Throughput {
+		m, ok := metrics[name]
+		if !ok {
+			fmt.Printf("FAIL %-40s missing from bench output\n", name)
+			failed = true
+			continue
+		}
+		tps, tok := m["txn/s"]
+		if !tok {
+			fmt.Printf("FAIL %-40s has no txn/s metric\n", name)
+			failed = true
+			continue
+		}
+		verdict := "ok  "
+		if tps < g.MinTxnPerSec {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-40s %10.0f txn/s (floor %.0f)\n", verdict, name, tps, g.MinTxnPerSec)
+		if g.MaxP99Ms > 0 {
+			p99, pok := m["p99-ms"]
+			verdict = "ok  "
+			if !pok || p99 > g.MaxP99Ms {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %-40s %10.1f p99-ms (ceiling %.0f)\n", verdict, name, p99, g.MaxP99Ms)
+		}
 	}
 	if failed {
 		fmt.Println("benchcheck: latency regression (or missing benchmark) vs BENCH_BASELINE.json")

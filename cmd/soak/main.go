@@ -88,9 +88,19 @@ type dcProc struct {
 	idx        int
 	dir        string
 	addr       string // service listen address, fixed across restarts
-	adminAddr  string // admin endpoint address, re-parsed per incarnation
 	cmd        *exec.Cmd
 	stdoutDone chan struct{}
+
+	mu        sync.Mutex
+	adminAddr string // admin endpoint address, re-parsed per incarnation
+}
+
+// admin returns the current incarnation's admin address; restart replaces
+// it from the chaos goroutine while the queue watchdog reads it.
+func (p *dcProc) admin() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.adminAddr
 }
 
 func run(cfg soakConfig) error {
@@ -276,6 +286,48 @@ func run(cfg soakConfig) error {
 		}
 	}()
 
+	// --- worker-queue watchdog --------------------------------------------
+	// The DC server runtime promises bounded queueing: depth can never
+	// exceed workers x queue-depth, whatever the load does, because the
+	// excess is refused as typed overloads instead. Sample every DC's
+	// /stats wire group throughout the soak and fail the moment the
+	// promise breaks.
+	queueErrCh := make(chan error, 1)
+	var maxQueueDepth uint64
+	stopWatch := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopWatch:
+				return
+			case <-tick.C:
+				for _, p := range dcs {
+					snap, err := fetchStats(p.admin())
+					if err != nil {
+						continue // DC mid-restart; the kill arm owns that window
+					}
+					w := snap["wire"]
+					c, d := w["worker_queue_cap"], w["worker_queue_depth"]
+					if d > maxQueueDepth {
+						maxQueueDepth = d
+					}
+					if c > 0 && d > c {
+						select {
+						case queueErrCh <- fmt.Errorf(
+							"dc%d worker queues exceed their cap: depth=%d cap=%d", p.idx, d, c):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}
+	}()
+
 	// --- run, then wind down --------------------------------------------
 	fmt.Printf("soak: driving ~%d txn/s for %v over %d TCs, %d DCs (drop-prob %.3f)\n",
 		cfg.load, cfg.duration, cfg.tcs, cfg.dcs, cfg.dropProb)
@@ -295,6 +347,14 @@ func run(cfg soakConfig) error {
 	close(stopLoad)
 	<-loadDone
 	inflight.Wait()
+	close(stopWatch)
+	<-watchDone
+	if chaosErr == nil {
+		select {
+		case chaosErr = <-queueErrCh:
+		default:
+		}
+	}
 	if chaosErr != nil {
 		return chaosErr
 	}
@@ -374,17 +434,36 @@ func run(cfg soakConfig) error {
 		return fmt.Errorf("drop-prob %.3f but zero resends — loss injection is not reaching the wire", cfg.dropProb)
 	}
 	for _, p := range dcs {
-		dsnap, err := fetchStats(p.adminAddr)
+		dsnap, err := fetchStats(p.admin())
 		if err != nil {
 			return fmt.Errorf("dc%d stats: %w", p.idx, err)
 		}
 		if dsnap["dc"]["performs"] == 0 {
 			return fmt.Errorf("dc%d /stats reports zero performs", p.idx)
 		}
+		// 3. Bounded, drained worker queues: the server pool must report a
+		// real cap and, with the load long stopped, an empty queue — work
+		// admitted is work finished, not work parked.
+		w := dsnap["wire"]
+		if w["worker_queue_cap"] == 0 {
+			return fmt.Errorf("dc%d /stats reports no worker queue capacity", p.idx)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for w["worker_queue_depth"] != 0 {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("dc%d worker queues not drained after load stopped: depth=%d",
+					p.idx, w["worker_queue_depth"])
+			}
+			time.Sleep(100 * time.Millisecond)
+			if dsnap, err = fetchStats(p.admin()); err != nil {
+				return fmt.Errorf("dc%d stats: %w", p.idx, err)
+			}
+			w = dsnap["wire"]
+		}
 	}
 
-	fmt.Printf("soak: SOAK OK: commits=%d resends=%d reconnects=%d kills=%d drains=%d lost=0\n",
-		commits, ws.Resends, ws.Reconnects, kills, drains)
+	fmt.Printf("soak: SOAK OK: commits=%d resends=%d reconnects=%d kills=%d drains=%d max-queue-depth=%d lost=0\n",
+		commits, ws.Resends, ws.Reconnects, kills, drains, maxQueueDepth)
 	return nil
 }
 
@@ -478,7 +557,10 @@ func (p *dcProc) restart(bin string) error {
 	for attempt := 0; attempt < 50; attempt++ {
 		np, err := startDC(bin, p.idx, p.dir, p.addr)
 		if err == nil {
-			p.cmd, p.adminAddr, p.stdoutDone = np.cmd, np.adminAddr, np.stdoutDone
+			p.cmd, p.stdoutDone = np.cmd, np.stdoutDone
+			p.mu.Lock()
+			p.adminAddr = np.adminAddr
+			p.mu.Unlock()
 			return nil
 		}
 		lastErr = err

@@ -1,6 +1,11 @@
 // Command unbundled-bench regenerates every table in EXPERIMENTS.md: the
 // reproduction of the paper's figures and claims (see DESIGN.md §4 for the
 // experiment index). Run with -quick for a fast smoke pass.
+//
+// The -throughput mode runs the open-loop TCP throughput comparison
+// instead (per-request-goroutine baseline vs the sharded worker pool with
+// coalesced acks), at an offered -rate for -duration across -clients
+// executors; -json emits the machine-readable report.
 package main
 
 import (
@@ -16,7 +21,33 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced smoke configuration")
 	only := flag.String("only", "", "run a single experiment (E1..E9, F1, F2)")
+	throughput := flag.Bool("throughput", false, "run the open-loop TCP throughput comparison instead of the experiment tables")
+	rate := flag.Int("rate", 0, "throughput: offered transactions per second (0: default)")
+	clients := flag.Int("clients", 0, "throughput: open-loop executor goroutines (0: default)")
+	duration := flag.Duration("duration", 0, "throughput: offered window (0: default)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
 	flag.Parse()
+
+	if *throughput {
+		o := experiments.ThroughputOptions{Rate: *rate, Clients: *clients, Duration: *duration}
+		if *quick {
+			if o.Rate == 0 {
+				o.Rate = 2000
+			}
+			if o.Duration == 0 {
+				o.Duration = time.Second
+			}
+			o.Warmup = 200 * time.Millisecond
+		}
+		rep := experiments.Throughput(o)
+		if *jsonOut {
+			os.Stdout.Write(rep.JSON())
+			fmt.Println()
+			return
+		}
+		rep.Fprint(os.Stdout)
+		return
+	}
 
 	s := experiments.DefaultScale()
 	if *quick {
@@ -25,7 +56,7 @@ func main() {
 
 	exps := []struct {
 		id, title string
-		run       func(experiments.Scale) *harness.Table
+		run       func(experiments.Scale) *harness.Report
 	}{
 		{"E1", "unbundled vs monolithic kernel (§7 'longer code paths')", experiments.E1},
 		{"E2", "abstract-LSN space vs per-record LSNs (§5.1.2)", experiments.E2},
@@ -46,8 +77,13 @@ func main() {
 		}
 		fmt.Printf("== %s: %s ==\n", e.id, e.title)
 		start := time.Now()
-		tab := e.run(s)
-		tab.Fprint(os.Stdout)
+		rep := e.run(s)
+		if *jsonOut {
+			os.Stdout.Write(rep.JSON())
+			fmt.Println()
+		} else {
+			rep.Fprint(os.Stdout)
+		}
 		fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 }

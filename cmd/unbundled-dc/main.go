@@ -35,6 +35,8 @@ func main() {
 	name := flag.String("name", "dc0", "DC name for diagnostics")
 	pageBytes := flag.Int("page-bytes", 4096, "page split threshold")
 	cache := flag.Int("cache", 0, "buffer-pool capacity in pages (0: unbounded)")
+	workers := flag.Int("workers", 0, "request worker pool size (0: 2x GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "per-worker queue capacity before requests are refused as overloaded (0: default 256)")
 	flag.Parse()
 
 	d, err := dc.New(dc.Config{
@@ -57,7 +59,10 @@ func main() {
 		}
 	}
 
-	l, err := wire.Listen(*listen, d)
+	l, err := wire.ListenWith(*listen, d, wire.ListenConfig{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "unbundled-dc:", err)
 		os.Exit(1)
@@ -72,6 +77,7 @@ func main() {
 	if *admin != "" {
 		reg := stats.NewRegistry()
 		d.RegisterStats(reg.Group("dc"))
+		l.RegisterStats(reg.Group("wire"))
 		adm, err := stats.Serve(*admin, reg, d)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "unbundled-dc: admin:", err)

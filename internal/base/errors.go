@@ -55,16 +55,23 @@ var (
 	// not serve that table. Permanent: the deployment (spec or -tables
 	// flags), not the moment, is wrong.
 	ErrPlacementMismatch = errors.New("unbundled: placement does not match DC catalog")
+	// ErrOverloaded marks a request refused by a server whose worker
+	// queues are full: admission control shedding load instead of growing
+	// goroutines without bound. Transient — the request was never
+	// executed, so retrying after a pause is always safe and succeeds
+	// once the queues drain.
+	ErrOverloaded = errors.New("unbundled: server overloaded")
 )
 
 // IsTransient reports whether err is an abort a caller should retry as a
 // fresh transaction: deadlock victims, bounded lock waits that timed out,
-// component-unavailable windows, and draining components (the retry
-// re-routes). Cancellation, stale epochs, and semantic failures
-// (not-found, duplicate, read-only) are permanent.
+// component-unavailable windows, draining components (the retry
+// re-routes), and overload sheds. Cancellation, stale epochs, and
+// semantic failures (not-found, duplicate, read-only) are permanent.
 func IsTransient(err error) bool {
 	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrLockTimeout) ||
-		errors.Is(err, ErrUnavailable) || errors.Is(err, ErrDraining)
+		errors.Is(err, ErrUnavailable) || errors.Is(err, ErrDraining) ||
+		errors.Is(err, ErrOverloaded)
 }
 
 // CancelErr converts a done context into the taxonomy's cancellation
@@ -91,7 +98,7 @@ func (e *cancelErr) Is(target error) bool { return target == ErrCancelled }
 // sentinel messages are matched by substring and re-wrapped.
 func RehydrateWireError(msg string) error {
 	for _, sentinel := range []error{ErrStaleEpoch, ErrUnavailable, ErrWrongOwner, ErrUnknownTable,
-		ErrDraining, ErrPlacementMismatch} {
+		ErrDraining, ErrPlacementMismatch, ErrOverloaded} {
 		if strings.Contains(msg, sentinel.Error()) {
 			return &wireErr{msg: msg, sentinel: sentinel}
 		}

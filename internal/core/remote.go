@@ -137,10 +137,11 @@ func (d *Deployment) WaitConnected(ctx context.Context) error {
 func (d *Deployment) Remote() bool { return len(d.TCs) > 0 && len(d.DCs) == 0 }
 
 // WireStats aggregates the dialed connections' counters: total request
-// attempts, §4.2 resends, and re-established TCP sessions. Zero-valued on
-// in-process deployments.
+// attempts, §4.2 resends, re-established TCP sessions, and admission
+// refusals (base.ErrOverloaded replies) absorbed by the retry loop.
+// Zero-valued on in-process deployments.
 type WireStats struct {
-	Calls, Resends, Reconnects uint64
+	Calls, Resends, Reconnects, Overloads uint64
 }
 
 // RemoteWireStats sums the per-connection counters of a DCAddrs
@@ -156,6 +157,7 @@ func (d *Deployment) RemoteWireStats() WireStats {
 			s.Calls += cl.Calls()
 			s.Resends += cl.Resends()
 			s.Reconnects += cl.Reconnects()
+			s.Overloads += cl.Overloads()
 		}
 	}
 	return s

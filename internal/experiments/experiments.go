@@ -1,6 +1,6 @@
 // Package experiments implements the reproduction of every figure and
 // claim in the paper (see DESIGN.md §4 for the index). Each experiment
-// returns a harness.Table whose rows appear in EXPERIMENTS.md; the cmd
+// returns a harness.Report whose rows appear in EXPERIMENTS.md; the cmd
 // tool prints them and bench_test.go wraps them as Go benchmarks.
 package experiments
 
@@ -98,8 +98,8 @@ func runKVMonolith(name string, e *monolith.Engine, s Scale, readFrac float64) h
 // identical workload (§7: "our unbundling approach inevitably has longer
 // code paths … justified by the flexibility of deploying
 // adequately-grained cloud services").
-func E1(s Scale) *harness.Table {
-	t := harness.NewTable()
+func E1(s Scale) *harness.Report {
+	t := harness.NewReport()
 	for _, readFrac := range []float64{0.5, 0.95} {
 		mono, err := monolith.New(monolith.Config{})
 		if err != nil {
@@ -134,8 +134,8 @@ func E1(s Scale) *harness.Table {
 
 // E3 compares the three §5.1.2 page-sync strategies under a steady update
 // stream with concurrent checkpoint-driven flushing.
-func E3(s Scale) *harness.Table {
-	t := harness.NewTable("flushes", "flushWaits", "barrierHits", "abLSN-bytes/page")
+func E3(s Scale) *harness.Report {
+	t := harness.NewReport()
 	for _, strat := range []struct {
 		name string
 		cfg  dc.Config
@@ -168,11 +168,11 @@ func E3(s Scale) *harness.Table {
 		if st.Flushes > 0 {
 			perPage = fmt.Sprintf("%.1f", float64(st.AbLSNBytes)/float64(st.Flushes))
 		}
-		res.ExtraCols = []string{
-			fmt.Sprintf("%d", st.Flushes),
-			fmt.Sprintf("%d", st.FlushWaits),
-			fmt.Sprintf("%d", st.BarrierHits),
-			perPage,
+		res.Extra = []harness.Col{
+			{Name: "flushes", Value: fmt.Sprintf("%d", st.Flushes)},
+			{Name: "flushWaits", Value: fmt.Sprintf("%d", st.FlushWaits)},
+			{Name: "barrierHits", Value: fmt.Sprintf("%d", st.BarrierHits)},
+			{Name: "abLSN-bytes/page", Value: perPage},
 		}
 		t.Add(res)
 		dep.Close()
@@ -186,8 +186,8 @@ func E3(s Scale) *harness.Table {
 // contention) static wins on overhead; with concentrated updates and more
 // workers, whole-bucket X locks serialize writers and fetch-ahead's
 // key-granular locks win.
-func E4(s Scale) *harness.Table {
-	t := harness.NewTable("locks", "waits", "deadlocks", "probes")
+func E4(s Scale) *harness.Report {
+	t := harness.NewReport()
 	for _, contention := range []struct {
 		name    string
 		workers int
@@ -252,11 +252,11 @@ func E4(s Scale) *harness.Table {
 				})
 			})
 			ls := tcx.Locks().Stats()
-			res.ExtraCols = []string{
-				fmt.Sprintf("%d", ls.Acquired),
-				fmt.Sprintf("%d", ls.Waited),
-				fmt.Sprintf("%d", ls.Deadlocks),
-				fmt.Sprintf("%d", tcx.Stats().Probes),
+			res.Extra = []harness.Col{
+				{Name: "locks", Value: fmt.Sprintf("%d", ls.Acquired)},
+				{Name: "waits", Value: fmt.Sprintf("%d", ls.Waited)},
+				{Name: "deadlocks", Value: fmt.Sprintf("%d", ls.Deadlocks)},
+				{Name: "probes", Value: fmt.Sprintf("%d", tcx.Stats().Probes)},
 			}
 			t.Add(res)
 			dep.Close()
@@ -267,8 +267,8 @@ func E4(s Scale) *harness.Table {
 
 // E8 fixes the work and varies the number of DC instances behind one TC
 // (§1.1(3): deploy more DCs than TCs for load balance).
-func E8(s Scale) *harness.Table {
-	t := harness.NewTable()
+func E8(s Scale) *harness.Report {
+	t := harness.NewReport()
 	for _, dcs := range []int{1, 2, 4, 8} {
 		n := dcs
 		// mod(n) reads the key's digit run, matching workload.KVKeyIndex:

@@ -19,8 +19,8 @@ import (
 // rejected per-record LSN alternative ("this is very expensive in the
 // space required"), measured on the stable pages produced by a real
 // workload, per page-sync strategy.
-func E2(s Scale) *harness.Table {
-	t := harness.NewTable("pages", "page-bytes", "abLSN-bytes", "abLSN/page", "recLSN/page(hyp)")
+func E2(s Scale) *harness.Report {
+	t := harness.NewReport()
 	for _, strat := range []struct {
 		name string
 		cfg  dc.Config
@@ -59,12 +59,12 @@ func E2(s Scale) *harness.Table {
 		if pages > 0 {
 			hyp = fmt.Sprintf("%.1f", float64(8*recs)/float64(pages))
 		}
-		res.ExtraCols = []string{
-			fmt.Sprintf("%d", pages),
-			fmt.Sprintf("%d", st.PageBytes),
-			fmt.Sprintf("%d", st.AbLSNBytes),
-			abPerPage,
-			hyp,
+		res.Extra = []harness.Col{
+			{Name: "pages", Value: fmt.Sprintf("%d", pages)},
+			{Name: "page-bytes", Value: fmt.Sprintf("%d", st.PageBytes)},
+			{Name: "abLSN-bytes", Value: fmt.Sprintf("%d", st.AbLSNBytes)},
+			{Name: "abLSN/page", Value: abPerPage},
+			{Name: "recLSN/page(hyp)", Value: hyp},
 		}
 		t.Add(res)
 		dep.Close()
@@ -76,8 +76,8 @@ func E2(s Scale) *harness.Table {
 // through many splits and consolidations, reports the DC-log cost of the
 // logical split records versus the physical consolidate records, then
 // crashes the DC and measures recovery (DC-log replay before TC redo).
-func E5(s Scale) *harness.Table {
-	t := harness.NewTable("splits", "consolidates", "splitLogB", "consLogB", "dcRecover", "redoOps")
+func E5(s Scale) *harness.Report {
+	t := harness.NewReport()
 	dep, err := core.New(core.Options{TCs: 1, DCs: 1, Tables: []string{"kv"},
 		DCConfig: func(int) dc.Config { return dc.Config{PageBytes: 512} }})
 	if err != nil {
@@ -135,13 +135,13 @@ func E5(s Scale) *harness.Table {
 	if err := dep.DCs[0].Tree("kv").CheckInvariants(); err != nil {
 		panic(fmt.Sprintf("E5: tree not well-formed after recovery: %v", err))
 	}
-	res.ExtraCols = []string{
-		fmt.Sprintf("%d", splits),
-		fmt.Sprintf("%d", cons),
-		fmt.Sprintf("%d", splitB),
-		fmt.Sprintf("%d", consB),
-		dcTime.Round(10 * time.Microsecond).String(),
-		fmt.Sprintf("%d", tcx.Stats().RedoOps),
+	res.Extra = []harness.Col{
+		{Name: "splits", Value: fmt.Sprintf("%d", splits)},
+		{Name: "consolidates", Value: fmt.Sprintf("%d", cons)},
+		{Name: "splitLogB", Value: fmt.Sprintf("%d", splitB)},
+		{Name: "consLogB", Value: fmt.Sprintf("%d", consB)},
+		{Name: "dcRecover", Value: dcTime.Round(10 * time.Microsecond).String()},
+		{Name: "redoOps", Value: fmt.Sprintf("%d", tcx.Stats().RedoOps)},
 	}
 	t.Add(res)
 	return t
@@ -152,8 +152,8 @@ func E5(s Scale) *harness.Table {
 // resets only the cached pages holding its lost operations — compared
 // against the "draconian" alternative of dropping the whole cache (which
 // the paper rejects).
-func E6(s Scale) *harness.Table {
-	t := harness.NewTable("cachedPages", "resetPages", "restoredRecs", "redoOps", "recovery")
+func E6(s Scale) *harness.Report {
+	t := harness.NewReport()
 
 	// (a) DC crash: vary ops since checkpoint.
 	for _, since := range []int{s.Keys / 8, s.Keys / 2} {
@@ -186,10 +186,12 @@ func E6(s Scale) *harness.Table {
 		el := time.Since(t0)
 		res := harness.Result{Name: fmt.Sprintf("dc-crash/opsSinceCkpt=%d", since),
 			Txns: uint64(since), Elapsed: el, Latencies: harness.NewHistogram()}
-		res.ExtraCols = []string{
-			fmt.Sprintf("%d", cached), "-", "-",
-			fmt.Sprintf("%d", tcx.Stats().RedoOps-base),
-			el.Round(10 * time.Microsecond).String(),
+		res.Extra = []harness.Col{
+			{Name: "cachedPages", Value: fmt.Sprintf("%d", cached)},
+			{Name: "resetPages", Value: "-"},
+			{Name: "restoredRecs", Value: "-"},
+			{Name: "redoOps", Value: fmt.Sprintf("%d", tcx.Stats().RedoOps-base)},
+			{Name: "recovery", Value: el.Round(10 * time.Microsecond).String()},
 		}
 		t.Add(res)
 		dep.Close()
@@ -241,12 +243,12 @@ func E6(s Scale) *harness.Table {
 		if mode == "full-drop" {
 			reset = fmt.Sprintf("%d (all)", cached)
 		}
-		res.ExtraCols = []string{
-			fmt.Sprintf("%d", cached),
-			reset,
-			fmt.Sprintf("%d", st.RestoredRecs),
-			fmt.Sprintf("%d", tcx.Stats().RedoOps),
-			el.Round(10 * time.Microsecond).String(),
+		res.Extra = []harness.Col{
+			{Name: "cachedPages", Value: fmt.Sprintf("%d", cached)},
+			{Name: "resetPages", Value: reset},
+			{Name: "restoredRecs", Value: fmt.Sprintf("%d", st.RestoredRecs)},
+			{Name: "redoOps", Value: fmt.Sprintf("%d", tcx.Stats().RedoOps)},
+			{Name: "recovery", Value: el.Round(10 * time.Microsecond).String()},
 		}
 		t.Add(res)
 		dep.Close()

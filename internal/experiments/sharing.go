@@ -20,8 +20,8 @@ import (
 // throughput column shows update scaling with TC count; the reader row
 // shows read latency while all writers are running (readers take no locks
 // and are "never blocked" — §6.2.2).
-func E7(s Scale) *harness.Table {
-	t := harness.NewTable("note")
+func E7(s Scale) *harness.Report {
+	t := harness.NewReport()
 	for _, tcs := range []int{1, 2, 4} {
 		// Writer w (TC w+1) owns the "p<w>/" key-range slice of the table;
 		// the reader TC (tcs+1) owns nothing and reads everywhere.
@@ -95,11 +95,11 @@ func E7(s Scale) *harness.Table {
 		el := time.Since(start)
 		res := harness.Result{Name: fmt.Sprintf("writers=%d", tcs),
 			Txns: committed.Load(), Elapsed: el, Latencies: harness.NewHistogram()}
-		res.ExtraCols = []string{"disjoint update partitions, no 2PC"}
+		res.Extra = []harness.Col{{Name: "note", Value: "disjoint update partitions, no 2PC"}}
 		t.Add(res)
 		readerRes := harness.Result{Name: fmt.Sprintf("reader-with-%d-writers", tcs),
 			Txns: readerReads.Load(), Elapsed: el, Latencies: readerHist}
-		readerRes.ExtraCols = []string{"read-committed, lock-free, never blocked"}
+		readerRes.Extra = []harness.Col{{Name: "note", Value: "read-committed, lock-free, never blocked"}}
 		t.Add(readerRes)
 		dep.Close()
 	}
@@ -113,7 +113,7 @@ func E7(s Scale) *harness.Table {
 // by UId over a third. Updating transactions are completely local to one
 // TC — no distributed transactions — and no query touches more than two
 // DCs.
-func F2(s Scale) *harness.Table {
+func F2(s Scale) *harness.Report {
 	p := workload.MoviePlacement{MovieDCs: 2, UserDCs: 1,
 		Movies: s.Keys / 10, Users: s.Keys / 4}
 	const updateTCs = 2
@@ -147,7 +147,7 @@ func F2(s Scale) *harness.Table {
 		}))
 	}
 
-	t := harness.NewTable("dcsTouched", "protocol")
+	t := harness.NewReport()
 
 	// W2: add a movie review — the user's TC inserts into Reviews (movie
 	// DC) and MyReviews (user DC) in ONE local transaction.
@@ -168,7 +168,8 @@ func F2(s Scale) *harness.Table {
 			return x.Upsert(workload.TableMyReviews, workload.MyReviewKey(u, m), review)
 		})
 	})
-	w2.ExtraCols = []string{"2", "local txn at owner TC (no 2PC)"}
+	w2.Extra = []harness.Col{{Name: "dcsTouched", Value: "2"},
+		{Name: "protocol", Value: "local txn at owner TC (no 2PC)"}}
 	t.Add(w2)
 
 	// W3: update profile information for a user — single DC, single TC.
@@ -181,7 +182,8 @@ func F2(s Scale) *harness.Table {
 				[]byte(fmt.Sprintf("profile-%d-v%d", u, i)))
 		})
 	})
-	w3.ExtraCols = []string{"1", "local txn at owner TC"}
+	w3.Extra = []harness.Col{{Name: "dcsTouched", Value: "1"},
+		{Name: "protocol", Value: "local txn at owner TC"}}
 	t.Add(w3)
 
 	// W1: obtain all reviews for a particular movie — the reader TC scans
@@ -196,7 +198,8 @@ func F2(s Scale) *harness.Table {
 			return err
 		})
 	})
-	w1.ExtraCols = []string{"1", "read-committed scan at reader TC"}
+	w1.Extra = []harness.Col{{Name: "dcsTouched", Value: "1"},
+		{Name: "protocol", Value: "read-committed scan at reader TC"}}
 	t.Add(w1)
 
 	// W4: obtain all reviews written by a particular user — the owner TC
@@ -211,7 +214,8 @@ func F2(s Scale) *harness.Table {
 			return err
 		})
 	})
-	w4.ExtraCols = []string{"1", "locked scan of own partition"}
+	w4.Extra = []harness.Col{{Name: "dcsTouched", Value: "1"},
+		{Name: "protocol", Value: "locked scan of own partition"}}
 	t.Add(w4)
 	return t
 }
@@ -219,7 +223,7 @@ func F2(s Scale) *harness.Table {
 // F1 deploys the Figure-1 architecture: two applications on separate TCs
 // over four heterogeneous DCs (two record stores, an inverted-index DC,
 // and a geo-prefix DC) and reports aggregate throughput per DC kind.
-func F1(s Scale) *harness.Table {
+func F1(s Scale) *harness.Report {
 	tables := []string{"photos", "accounts", "textidx", "shapes"}
 	// Whole-table axes: each table lives on its own (heterogeneous) DC,
 	// and ownership is per application — app1 (TC 1) owns everything but
@@ -233,7 +237,7 @@ func F1(s Scale) *harness.Table {
 	defer dep.Close()
 	ctx := context.Background()
 	client := dep.Client()
-	t := harness.NewTable("dcKind")
+	t := harness.NewReport()
 	app1 := harness.Run("app1 photo+index", s.Workers, s.TxnsPerW/2, func(w, i int) error {
 		id := fmt.Sprintf("p%d-%d", w, i)
 		return client.RunTxn(ctx, core.TxnOptions{TC: 1}, func(x *tc.Txn) error {
@@ -246,18 +250,21 @@ func F1(s Scale) *harness.Table {
 			return x.Upsert("shapes", "a1/9q8yy"+id+"#"+id, nil)
 		})
 	})
-	app1.ExtraCols = []string{"record+inverted+geo"}
+	app1.Extra = []harness.Col{{Name: "dcKind", Value: "record+inverted+geo"}}
 	t.Add(app1)
 	app2 := harness.Run("app2 accounts", s.Workers, s.TxnsPerW/2, func(w, i int) error {
 		return client.RunTxn(ctx, core.TxnOptions{TC: 2}, func(x *tc.Txn) error {
 			return x.Upsert("accounts", fmt.Sprintf("a2/u%d-%d", w, i), []byte("acct"))
 		})
 	})
-	app2.ExtraCols = []string{"record"}
+	app2.Extra = []harness.Col{{Name: "dcKind", Value: "record"}}
 	t.Add(app2)
+	// Per-DC operation counts as real result rows: each DC's perform total
+	// is its transaction column, labeled with the heterogeneous store kind.
 	for i, dci := range dep.DCs {
-		t.AddRow(fmt.Sprintf("dc%d ops", i), fmt.Sprintf("%d", dci.Stats().Performs),
-			"", "", "", "", "", tables[i])
+		t.Add(harness.Result{Name: fmt.Sprintf("dc%d ops", i),
+			Txns: dci.Stats().Performs, Latencies: harness.NewHistogram(),
+			Extra: []harness.Col{{Name: "dcKind", Value: tables[i]}}})
 	}
 	return t
 }

@@ -22,8 +22,8 @@ import (
 // One writer per hot key keeps every key X-locked almost continuously
 // in versioned transactions while each reader mode runs the identical
 // multi-key read transaction.
-func E9(s Scale) *harness.Table {
-	t := harness.NewTable("note")
+func E9(s Scale) *harness.Report {
+	t := harness.NewReport()
 	const hot = 16
 	hotKey := func(k int) string { return fmt.Sprintf("hot%d", k) }
 	for _, mode := range []struct {
@@ -86,7 +86,7 @@ func E9(s Scale) *harness.Table {
 		})
 		close(stop)
 		wg.Wait()
-		res.ExtraCols = []string{mode.note}
+		res.Extra = []harness.Col{{Name: "note", Value: mode.note}}
 		t.Add(res)
 		dep.Close()
 	}

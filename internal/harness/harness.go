@@ -1,9 +1,13 @@
-// Package harness runs experiments and reports the tables in
-// EXPERIMENTS.md: fixed-seed workload drivers, wall-clock throughput,
-// latency percentiles, and aligned table printing.
+// Package harness is the load-generation and reporting API behind the
+// experiments in EXPERIMENTS.md and the throughput benchmarks: fixed-seed
+// closed-loop drivers (Run), an open-loop arrival-rate generator
+// (RunOpenLoop) that measures latency against the offered schedule, and
+// one canonical report shape (Report) that renders every result as an
+// aligned table or JSON.
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -15,15 +19,28 @@ import (
 
 // Result summarizes one measured configuration.
 type Result struct {
-	Name      string
-	Txns      uint64
-	Errors    uint64
+	Name   string
+	Txns   uint64 // completed transactions
+	Errors uint64 // transactions that surfaced an error
+	// Retries counts retried attempts underneath the completed
+	// transactions. RunOpenLoop cannot observe retries the stack absorbs
+	// internally, so drivers populate it from component counters.
+	Retries uint64
+	// Overloads counts admission refusals (base.ErrOverloaded) ridden
+	// out underneath the run: RunOpenLoop records those that surface,
+	// drivers add those the wire client absorbed.
+	Overloads uint64
 	Elapsed   time.Duration
 	Latencies *Histogram
-	ExtraCols []string // appended verbatim to table rows
+	// Extra holds named experiment-specific columns, rendered after the
+	// standard ones in first-seen order.
+	Extra []Col
 }
 
-// Throughput returns committed transactions per second.
+// Col is one named extra column value.
+type Col struct{ Name, Value string }
+
+// Throughput returns completed transactions per second.
 func (r Result) Throughput() float64 {
 	if r.Elapsed <= 0 {
 		return 0
@@ -31,9 +48,26 @@ func (r Result) Throughput() float64 {
 	return float64(r.Txns) / r.Elapsed.Seconds()
 }
 
+// Quantile returns the q-quantile latency (0 with no samples recorded).
+func (r Result) Quantile(q float64) time.Duration {
+	if r.Latencies == nil {
+		return 0
+	}
+	return r.Latencies.Quantile(q)
+}
+
+func (r Result) mean() time.Duration {
+	if r.Latencies == nil {
+		return 0
+	}
+	return r.Latencies.Mean()
+}
+
 // Run drives fn concurrently from `workers` goroutines until each has
-// executed perWorker transactions; fn receives (worker, iteration) and
-// reports success. Latency is recorded per transaction.
+// executed perWorker transactions (closed loop: each worker offers its
+// next transaction only when the previous one finished); fn receives
+// (worker, iteration) and reports success. Latency is recorded per
+// transaction.
 func Run(name string, workers, perWorker int, fn func(worker, i int) error) Result {
 	var txns, errs atomic.Uint64
 	h := NewHistogram()
@@ -115,46 +149,90 @@ func (h *Histogram) Mean() time.Duration {
 	return h.sum / time.Duration(h.count)
 }
 
-// Table prints results as an aligned table with the standard columns plus
-// any extra column headers supplied.
-type Table struct {
-	header []string
-	rows   [][]string
+// Report is the canonical result collection: every experiment and
+// benchmark accumulates Results into one and renders it through Table
+// (aligned text) or JSON — there is no other rendering path.
+type Report struct {
+	results []Result
 }
 
-// NewTable builds a table with the standard columns plus extras.
-func NewTable(extra ...string) *Table {
-	h := append([]string{"config", "txns", "errors", "tps", "mean", "p50", "p99"}, extra...)
-	return &Table{header: h}
-}
+// NewReport returns an empty report.
+func NewReport() *Report { return &Report{} }
 
-// Add appends a result row.
-func (t *Table) Add(r Result) {
-	row := []string{
-		r.Name,
-		fmt.Sprintf("%d", r.Txns),
-		fmt.Sprintf("%d", r.Errors),
-		fmt.Sprintf("%.0f", r.Throughput()),
-		fmtDur(r.Latencies.Mean()),
-		fmtDur(r.Latencies.Quantile(0.50)),
-		fmtDur(r.Latencies.Quantile(0.99)),
+// Add appends a result.
+func (t *Report) Add(r Result) { t.results = append(t.results, r) }
+
+// Results returns the accumulated results in insertion order.
+func (t *Report) Results() []Result { return t.results }
+
+// stdCols is the fixed column set every report row carries.
+var stdCols = []string{"config", "txns", "errors", "tps", "mean", "p50", "p99", "p999"}
+
+// header returns the full column list: the standard columns, retries and
+// overloads when any result recorded them, then the union of extra
+// column names in first-seen order.
+func (t *Report) header() []string {
+	h := append([]string(nil), stdCols...)
+	var anyRetries, anyOverloads bool
+	for _, r := range t.results {
+		anyRetries = anyRetries || r.Retries > 0
+		anyOverloads = anyOverloads || r.Overloads > 0
 	}
-	row = append(row, r.ExtraCols...)
-	t.rows = append(t.rows, row)
+	if anyRetries {
+		h = append(h, "retries")
+	}
+	if anyOverloads {
+		h = append(h, "overloads")
+	}
+	seen := make(map[string]bool)
+	for _, r := range t.results {
+		for _, c := range r.Extra {
+			if !seen[c.Name] {
+				seen[c.Name] = true
+				h = append(h, c.Name)
+			}
+		}
+	}
+	return h
 }
 
-// AddRow appends a raw row (for non-throughput tables).
-func (t *Table) AddRow(cols ...string) { t.rows = append(t.rows, cols) }
+func (t *Report) row(r Result, header []string) []string {
+	vals := map[string]string{
+		"config":    r.Name,
+		"txns":      fmt.Sprintf("%d", r.Txns),
+		"errors":    fmt.Sprintf("%d", r.Errors),
+		"tps":       fmt.Sprintf("%.0f", r.Throughput()),
+		"mean":      fmtDur(r.mean()),
+		"p50":       fmtDur(r.Quantile(0.50)),
+		"p99":       fmtDur(r.Quantile(0.99)),
+		"p999":      fmtDur(r.Quantile(0.999)),
+		"retries":   fmt.Sprintf("%d", r.Retries),
+		"overloads": fmt.Sprintf("%d", r.Overloads),
+	}
+	for _, c := range r.Extra {
+		vals[c.Name] = c.Value
+	}
+	row := make([]string, len(header))
+	for i, name := range header {
+		row[i] = vals[name]
+	}
+	return row
+}
 
 // Fprint writes the aligned table.
-func (t *Table) Fprint(w io.Writer) {
-	widths := make([]int, len(t.header))
-	for i, h := range t.header {
+func (t *Report) Fprint(w io.Writer) {
+	header := t.header()
+	rows := make([][]string, len(t.results))
+	for i, r := range t.results {
+		rows[i] = t.row(r, header)
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
 		widths[i] = len(h)
 	}
-	for _, row := range t.rows {
+	for _, row := range rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -166,28 +244,78 @@ func (t *Table) Fprint(w io.Writer) {
 				sb.WriteString("  ")
 			}
 			sb.WriteString(c)
-			if i < len(widths) {
-				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
-			}
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
 		}
 		return strings.TrimRight(sb.String(), " ")
 	}
-	fmt.Fprintln(w, line(t.header))
-	sep := make([]string, len(t.header))
+	fmt.Fprintln(w, line(header))
+	sep := make([]string, len(header))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	fmt.Fprintln(w, line(sep))
-	for _, row := range t.rows {
+	for _, row := range rows {
 		fmt.Fprintln(w, line(row))
 	}
 }
 
-// String renders the table.
-func (t *Table) String() string {
+// Table renders the report as an aligned text table.
+func (t *Report) Table() string {
 	var sb strings.Builder
 	t.Fprint(&sb)
 	return sb.String()
+}
+
+// String renders the table (fmt.Stringer).
+func (t *Report) String() string { return t.Table() }
+
+// jsonResult is the stable machine shape of one result row.
+type jsonResult struct {
+	Name      string            `json:"name"`
+	Txns      uint64            `json:"txns"`
+	Errors    uint64            `json:"errors"`
+	Retries   uint64            `json:"retries"`
+	Overloads uint64            `json:"overloads"`
+	TPS       float64           `json:"tps"`
+	MeanUs    int64             `json:"mean_us"`
+	P50Us     int64             `json:"p50_us"`
+	P99Us     int64             `json:"p99_us"`
+	P999Us    int64             `json:"p999_us"`
+	ElapsedMs float64           `json:"elapsed_ms"`
+	Extra     map[string]string `json:"extra,omitempty"`
+}
+
+// JSON renders the report as an indented JSON array, one object per
+// result, latencies in microseconds.
+func (t *Report) JSON() []byte {
+	out := make([]jsonResult, len(t.results))
+	for i, r := range t.results {
+		jr := jsonResult{
+			Name:      r.Name,
+			Txns:      r.Txns,
+			Errors:    r.Errors,
+			Retries:   r.Retries,
+			Overloads: r.Overloads,
+			TPS:       r.Throughput(),
+			MeanUs:    r.mean().Microseconds(),
+			P50Us:     r.Quantile(0.50).Microseconds(),
+			P99Us:     r.Quantile(0.99).Microseconds(),
+			P999Us:    r.Quantile(0.999).Microseconds(),
+			ElapsedMs: float64(r.Elapsed.Microseconds()) / 1000,
+		}
+		if len(r.Extra) > 0 {
+			jr.Extra = make(map[string]string, len(r.Extra))
+			for _, c := range r.Extra {
+				jr.Extra[c.Name] = c.Value
+			}
+		}
+		out[i] = jr
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil { // unreachable: the shape is marshalable by construction
+		panic(err)
+	}
+	return buf
 }
 
 func fmtDur(d time.Duration) string {

@@ -163,14 +163,15 @@ func (s *PageStore) Stats() Stats {
 // of opaque records with a force boundary. Appends land in a volatile tail;
 // Force makes the tail stable; Crash discards whatever was not forced.
 type LogStore struct {
-	mu      sync.Mutex
-	stable  [][]byte // records [0, forced)
-	tail    [][]byte // records [forced, end)
-	start   uint64   // logical index of stable[0] after truncation
-	bound   uint64   // owner-supplied watermark surviving full truncation
-	forces  atomic.Uint64
-	appends atomic.Uint64
-	bytes   atomic.Uint64
+	mu         sync.Mutex
+	stable     [][]byte // records [0, forced)
+	tail       [][]byte // records [forced, end)
+	start      uint64   // logical index of stable[0] after truncation
+	bound      uint64   // owner-supplied watermark surviving full truncation
+	forces     atomic.Uint64
+	noopForces atomic.Uint64
+	appends    atomic.Uint64
+	bytes      atomic.Uint64
 	// path/file, when set, back the stable half with an append-mostly
 	// fsynced file so forced records survive process death (see disk.go).
 	// fmu serializes the file I/O itself, which runs *outside* mu so the
@@ -207,7 +208,21 @@ func (l *LogStore) Append(rec []byte) uint64 {
 // disk-backed store the file append+fsync runs under fmu but outside mu,
 // so concurrent Appends proceed during the (slow) media write; records
 // appended mid-force stay volatile until the next force.
+//
+// A force that finds the tail empty is a no-op: the stable end already
+// covers every appended record, so neither ForceDelay nor the media fsync
+// is paid. Group commit makes these common — one committer's force covers
+// its neighbours', whose own Force calls then land on an empty tail — and
+// NoopForces counts them to prove the coalescing.
 func (l *LogStore) Force() uint64 {
+	l.mu.Lock()
+	if len(l.tail) == 0 {
+		end := l.start + uint64(len(l.stable))
+		l.mu.Unlock()
+		l.noopForces.Add(1)
+		return end
+	}
+	l.mu.Unlock()
 	if l.ForceDelay > 0 {
 		time.Sleep(l.ForceDelay)
 	}
@@ -331,8 +346,14 @@ func (l *LogStore) Start() uint64 {
 	return l.start
 }
 
-// Forces returns the number of Force calls (fsync count for benches).
+// Forces returns the number of Force calls that hit the media (the fsync
+// count for benches); no-op forces are excluded.
 func (l *LogStore) Forces() uint64 { return l.forces.Load() }
+
+// NoopForces returns the number of Force calls skipped because the stable
+// end already covered every appended record — each one an fsync (and a
+// ForceDelay) that group commit made redundant.
+func (l *LogStore) NoopForces() uint64 { return l.noopForces.Load() }
 
 // AppendedBytes returns total bytes appended (log volume for benches).
 func (l *LogStore) AppendedBytes() uint64 { return l.bytes.Load() }

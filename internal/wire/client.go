@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,7 +34,7 @@ type Client struct {
 	waiters map[uint64]chan *message
 	nextID  atomic.Uint64
 
-	calls, resends atomic.Uint64
+	calls, resends, overloads atomic.Uint64
 
 	simIn *endpoint // simulated transport only: SetDown support
 	link  *tcpLink  // dialed transport only: reconnect supervision
@@ -90,10 +91,29 @@ func (c *Client) Calls() uint64 { return c.calls.Load() }
 // fabrics and DC outages alike.
 func (c *Client) Resends() uint64 { return c.resends.Load() }
 
+// Overloads returns how many replies refused a request because the
+// server's worker queues were full (base.ErrOverloaded). Each one was
+// retried after a pause — the counter makes backpressure visible without
+// breaking the delivery contract.
+func (c *Client) Overloads() uint64 { return c.overloads.Load() }
+
 // dispatch hands one server reply to the waiter registered under its
 // correlation id. Transport pumps call it; duplicate or late replies for
-// answered (or abandoned) attempts are dropped here.
+// answered (or abandoned) attempts are dropped here. A coalesced
+// msgReplyBatch fans out into its member replies — losing or duplicating
+// the whole batch on the way here is no different from losing or
+// duplicating each member.
 func (c *Client) dispatch(m *message) {
+	if m.kind == msgReplyBatch {
+		batch, err := decodeAckBatch(m.body)
+		if err != nil {
+			return // corrupt batch: drop it whole; resends recover
+		}
+		for _, r := range batch {
+			c.dispatch(r)
+		}
+		return
+	}
 	if m.kind != msgReply {
 		return
 	}
@@ -163,6 +183,13 @@ func (c *Client) call(ctx context.Context, kind msgKind, tc base.TCID, epoch bas
 // closed-stub failure as base.ErrUnavailable.
 var closedErrText = "wire: client closed: " + base.ErrUnavailable.Error()
 
+// isOverloadReply reports whether a reply error is a server admission
+// refusal (the overloadedErrText the listener sends, matched the same way
+// base.RehydrateWireError matches every wire-crossing sentinel).
+func isOverloadReply(errText string) bool {
+	return strings.Contains(errText, base.ErrOverloaded.Error())
+}
+
 // Perform implements base.Service. It blocks, resending, until the DC
 // acknowledges — exactly-once courtesy of unique request IDs (op.LSN) and
 // DC idempotence — or until ctx is done (CodeCancelled).
@@ -174,6 +201,16 @@ func (c *Client) Perform(ctx context.Context, op *base.Op) *base.Result {
 			return &base.Result{LSN: op.LSN, Code: base.CodeCancelled}
 		}
 		if reply.err != "" {
+			if isOverloadReply(reply.err) {
+				// The server shed the request before it touched the service:
+				// count it, pause out the queue pressure, and re-offer,
+				// invisibly to the caller.
+				c.overloads.Add(1)
+				if code := c.pause(ctx); code != base.CodeOK {
+					return &base.Result{LSN: op.LSN, Code: code}
+				}
+				continue
+			}
 			return &base.Result{LSN: op.LSN, Code: base.CodeUnavailable}
 		}
 		res, _, derr := base.DecodeResult(reply.body)
@@ -218,6 +255,13 @@ func (c *Client) PerformBatch(ctx context.Context, ops []*base.Op) []*base.Resul
 			return fail(base.CodeCancelled)
 		}
 		if reply.err != "" {
+			if isOverloadReply(reply.err) {
+				c.overloads.Add(1)
+				if code := c.pause(ctx); code != base.CodeOK {
+					return fail(code)
+				}
+				continue
+			}
 			return fail(base.CodeUnavailable)
 		}
 		rs, derr := decodeBatchReply(reply.body, len(ops))

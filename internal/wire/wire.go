@@ -51,6 +51,12 @@ type Config struct {
 	ResendAfter time.Duration
 	// Seed makes the misbehaviour reproducible.
 	Seed int64
+	// CoalesceAcks batches server replies that accumulate while a
+	// delivery is in flight into one msgReplyBatch frame, mirroring the
+	// TCP transport's default. On the simulated fabric this mostly exists
+	// so chaos tests can drive loss/dup/jitter through the batched-ack
+	// decode path.
+	CoalesceAcks bool
 }
 
 func (c Config) resendAfter() time.Duration {
@@ -121,6 +127,12 @@ const (
 	// serves (the fleet-assembly placement cross-check). Appended last,
 	// like msgSafeTS, to keep old frames decoding identically.
 	msgCatalog
+	// msgReplyBatch coalesces several msgReply frames into one — the
+	// inverse of msgPerformBatch: where a pipelined sender amortizes a
+	// round trip over many operations, the server amortizes a flush (and,
+	// at the TC, a commit-force window) over many acks. Appended last, so
+	// old frames decode identically.
+	msgReplyBatch
 )
 
 // Cataloger is the optional service facet behind msgCatalog: a server
@@ -262,6 +274,9 @@ func (n *Network) Connect(svc base.Service) (*Client, *Server) {
 	toServer := n.newEndpoint()
 	toClient := n.newEndpoint()
 	srv := &Server{net: n, svc: svc, in: toServer, out: toClient}
+	if n.cfg.CoalesceAcks {
+		srv.acks = &ackBatcher{out: srv.deliverBatch, batches: &srv.ackBatches, coalesced: &srv.acksCoalesced}
+	}
 	cl := newClient(func(m *message) { n.deliver(toServer, m) }, n.cfg.resendAfter)
 	cl.onResend = func() { n.resends.Add(1) }
 	cl.simIn = toClient
@@ -286,10 +301,41 @@ func (c *Client) pumpSim(in *endpoint) {
 
 // Server pumps inbound messages into the wrapped service.
 type Server struct {
-	net *Network
-	svc base.Service
-	in  *endpoint
-	out *endpoint
+	net  *Network
+	svc  base.Service
+	in   *endpoint
+	out  *endpoint
+	acks *ackBatcher // non-nil with Config.CoalesceAcks
+
+	ackBatches, acksCoalesced atomic.Uint64
+}
+
+// reply routes one reply toward the client, through the ack coalescer
+// when one is configured.
+func (s *Server) reply(m *message) {
+	if s.acks != nil {
+		s.acks.add(m)
+		return
+	}
+	s.net.deliver(s.out, m)
+}
+
+// deliverBatch ships one coalesced batch as a single fabric delivery — so
+// loss drops, duplication re-delivers, and jitter reorders whole ack
+// batches, exactly the failure modes the oracle tests aim at.
+func (s *Server) deliverBatch(batch []*message) {
+	if len(batch) == 1 {
+		s.net.deliver(s.out, batch[0])
+		return
+	}
+	s.net.deliver(s.out, &message{kind: msgReplyBatch, body: encodeAckBatch(getReplyBuf(), batch)})
+}
+
+// AckStats returns the coalescing counters: flushed ack deliveries and
+// the number of replies that rode along in a batch instead of paying
+// their own delivery (zero without Config.CoalesceAcks).
+func (s *Server) AckStats() (batches, coalesced uint64) {
+	return s.ackBatches.Load(), s.acksCoalesced.Load()
 }
 
 // SetDown marks the server (DC process) up or down. While down, inbound
@@ -327,7 +373,7 @@ func (s *Server) run() {
 			case msgEndRestart:
 				go s.control(m, func() error { return s.svc.EndRestart(context.Background(), m.tc, m.epoch) })
 			case msgCatalog:
-				s.net.deliver(s.out, catalogReply(s.svc, m.id))
+				s.reply(catalogReply(s.svc, m.id))
 			}
 		}
 	}
@@ -336,24 +382,24 @@ func (s *Server) run() {
 func (s *Server) perform(m *message) {
 	op, _, err := base.DecodeOp(m.body)
 	if err != nil {
-		s.net.deliver(s.out, &message{kind: msgReply, id: m.id, err: err.Error()})
+		s.reply(&message{kind: msgReply, id: m.id, err: err.Error()})
 		return
 	}
 	// The server side has no caller context: a request that reached the DC
 	// executes to completion (cancellation only ever abandons the client's
 	// wait).
 	res := s.svc.Perform(context.Background(), op)
-	s.net.deliver(s.out, &message{kind: msgReply, id: m.id, body: base.AppendResult(getReplyBuf(), res)})
+	s.reply(&message{kind: msgReply, id: m.id, body: base.AppendResult(getReplyBuf(), res)})
 }
 
 func (s *Server) performBatch(m *message) {
 	ops, _, err := base.DecodeOpBatch(m.body)
 	if err != nil {
-		s.net.deliver(s.out, &message{kind: msgReply, id: m.id, err: err.Error()})
+		s.reply(&message{kind: msgReply, id: m.id, err: err.Error()})
 		return
 	}
 	rs := s.svc.PerformBatch(context.Background(), ops)
-	s.net.deliver(s.out, &message{kind: msgReply, id: m.id, body: base.AppendResultBatch(getReplyBuf(), rs)})
+	s.reply(&message{kind: msgReply, id: m.id, body: base.AppendResultBatch(getReplyBuf(), rs)})
 }
 
 // Reply bodies are encoded into pooled buffers: a reply is consumed by
@@ -379,5 +425,5 @@ func (s *Server) control(m *message, f func() error) {
 	if err := f(); err != nil {
 		errStr = err.Error()
 	}
-	s.net.deliver(s.out, &message{kind: msgReply, id: m.id, err: errStr})
+	s.reply(&message{kind: msgReply, id: m.id, err: errStr})
 }

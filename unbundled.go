@@ -166,6 +166,34 @@
 // Each TC fences the DCs with its own incarnation epochs, so killing and
 // restarting one TC process never disturbs the other's traffic (§6.1.2).
 //
+// # Throughput runtime and the overload contract
+//
+// A networked DC executes requests on a sharded worker pool rather than a
+// goroutine per request: ListenConfig sizes the pool (default
+// 2xGOMAXPROCS workers) and each worker's bounded queue (default 256).
+// Dispatch picks the least-loaded worker; when every queue is full the
+// server refuses the request before decoding it, and the refusal crosses
+// the wire as the typed transient ErrOverloaded. That is the overload
+// contract: a refused request was never executed, so retrying after a
+// pause is always safe — and the TC's wire client does exactly that,
+// invisibly, counting each refusal in its overloads counter (visible on
+// /stats). Callers only ever see ErrOverloaded if they drive the wire
+// layer directly; through Client.RunTxn, backpressure surfaces as
+// latency, never as an error. Replies that accumulate while a reply
+// flush is on the wire leave as one coalesced batch frame (group commit
+// for acks); ListenConfig.PerRequest and FlatAcks each restore one
+// pre-pool behaviour for comparison. cmd/unbundled-dc exposes the knobs
+// as -workers and -queue-depth.
+//
+// The open-loop throughput harness measures this runtime the way real
+// traffic would: transactions arrive on a fixed schedule whatever the
+// system is doing, and latency is measured from the scheduled arrival —
+// queueing delay counts against the system instead of slowing the load
+// down (the "coordinated omission" correction). cmd/unbundled-bench
+// -throughput compares the per-request baseline against the sharded
+// runtime at the same offered rate; BenchmarkThroughputOpenLoop gates
+// the completed-txn/s floor and p99 ceiling in CI.
+//
 // # Operations plane
 //
 // Both binaries expose an HTTP admin endpoint with -admin <addr>: /stats
@@ -254,6 +282,11 @@ type (
 	// DialConfig shapes the TCP connections of a networked deployment
 	// (Options.DCAddrs pointing at cmd/unbundled-dc processes).
 	DialConfig = wire.DialConfig
+	// ListenConfig shapes the server runtime behind a networked DC: worker
+	// pool size, per-worker queue depth (past which requests are refused
+	// with ErrOverloaded), and the PerRequest/FlatAcks baseline switches.
+	// cmd/unbundled-dc surfaces it as -workers and -queue-depth.
+	ListenConfig = wire.ListenConfig
 	// TC is a transactional component.
 	TC = tc.TC
 	// DC is a data component.
@@ -337,6 +370,12 @@ var (
 	// (Deployment.ValidatePlacement). Permanent — fix the spec or the DC's
 	// -tables before serving traffic.
 	ErrPlacementMismatch = base.ErrPlacementMismatch
+	// ErrOverloaded: a server's worker queues were full and the request was
+	// refused before executing (admission control shedding load). Transient
+	// — retrying after a pause is always safe; the wire client absorbs
+	// these itself, so through Client.RunTxn overload surfaces as latency,
+	// not as this error.
+	ErrOverloaded = base.ErrOverloaded
 )
 
 // ParsePlacement reads a placement spec — ";"- or newline-separated
